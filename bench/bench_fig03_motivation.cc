@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig. 3: slowdown of I-FAM with respect to (insecure) E-FAM for all
+ * 14 benchmarks — the motivation experiment. The paper reports up to
+ * 20.6x (sssp) with most benchmarks between 1.2x and 4x.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+
+using namespace famsim;
+
+int
+main()
+{
+    ScopedQuietLogs quiet;
+    std::uint64_t instr = instrBudget(300000);
+
+    SeriesTable table("Fig. 3: slowdown of I-FAM wrt E-FAM", "bench",
+                      {"E-FAM", "I-FAM", "slowdown"});
+    std::vector<double> slowdowns;
+    for (const auto& profile : profiles::all()) {
+        std::cerr << "fig03: " << profile.name << "...\n";
+        RunResult efam = runOne(makeConfig(profile, ArchKind::EFam,
+                                           instr));
+        RunResult ifam = runOne(makeConfig(profile, ArchKind::IFam,
+                                           instr));
+        double slowdown = ifam.ipc > 0 ? efam.ipc / ifam.ipc : 0.0;
+        slowdowns.push_back(slowdown);
+        table.addRow(profile.name, {efam.ipc, ifam.ipc, slowdown});
+    }
+    table.print(std::cout);
+    std::cout << "geomean slowdown: " << geomean(slowdowns)
+              << "x  (paper: most 1.2x-4x, outliers up to 20.6x)\n";
+    return 0;
+}

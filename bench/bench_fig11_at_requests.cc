@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 11: percentage of address-translation requests observed at the
+ * FAM for I-FAM, DeACT-W and DeACT-N. The paper reports the average
+ * falling from 23.97 % (I-FAM) to 11.82 % (DeACT-W) to 1.77 %
+ * (DeACT-N) of the node's requests.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+
+using namespace famsim;
+
+int
+main()
+{
+    ScopedQuietLogs quiet;
+    std::uint64_t instr = instrBudget(300000);
+
+    SeriesTable table("Fig. 11: % AT requests at FAM", "bench",
+                      {"I-FAM", "DeACT-W", "DeACT-N"});
+    std::vector<double> means[3];
+    for (const auto& profile : profiles::all()) {
+        std::cerr << "fig11: " << profile.name << "...\n";
+        std::vector<double> row;
+        int i = 0;
+        for (ArchKind arch :
+             {ArchKind::IFam, ArchKind::DeactW, ArchKind::DeactN}) {
+            RunResult r = runOne(makeConfig(profile, arch, instr));
+            row.push_back(r.famAtPercent);
+            means[i++].push_back(r.famAtPercent);
+        }
+        table.addRow(profile.name, row);
+    }
+    table.print(std::cout);
+    std::cout << "averages: I-FAM " << geomean(means[0])
+              << "%  DeACT-W " << geomean(means[1]) << "%  DeACT-N "
+              << geomean(means[2])
+              << "%  (paper: 23.97 / 11.82 / 1.77 %)\n";
+    return 0;
+}

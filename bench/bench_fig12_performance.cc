@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 12: performance of all four architectures normalized to E-FAM
+ * — the paper's headline result. DeACT achieves up to 4.59x speedup
+ * over I-FAM (1.8x on average); DeACT does not help (or slightly
+ * hurts) the AT-insensitive benchmarks bc, lu, mg and sp.
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+
+using namespace famsim;
+
+int
+main()
+{
+    ScopedQuietLogs quiet;
+    std::uint64_t instr = instrBudget(300000);
+
+    SeriesTable table("Fig. 12: performance normalized to E-FAM",
+                      "bench", {"E-FAM", "I-FAM", "DeACT-W", "DeACT-N"});
+    std::vector<double> ifam_rel, deactn_rel, deactn_over_ifam;
+    double best_speedup = 0.0;
+    std::string best_bench;
+
+    for (const auto& profile : profiles::all()) {
+        std::cerr << "fig12: " << profile.name << "...\n";
+        double efam = 0.0;
+        std::vector<double> row;
+        for (ArchKind arch : {ArchKind::EFam, ArchKind::IFam,
+                              ArchKind::DeactW, ArchKind::DeactN}) {
+            RunResult r = runOne(makeConfig(profile, arch, instr));
+            if (arch == ArchKind::EFam)
+                efam = r.ipc;
+            row.push_back(efam > 0 ? r.ipc / efam : 0.0);
+        }
+        table.addRow(profile.name, row);
+        ifam_rel.push_back(row[1]);
+        deactn_rel.push_back(row[3]);
+        if (row[1] > 0) {
+            double speedup = row[3] / row[1];
+            deactn_over_ifam.push_back(speedup);
+            if (speedup > best_speedup) {
+                best_speedup = speedup;
+                best_bench = profile.name;
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "I-FAM average perf vs E-FAM   : " << geomean(ifam_rel)
+              << "  (paper: 0.303, i.e. -69.7 %)\n";
+    std::cout << "DeACT-N average perf vs E-FAM : "
+              << geomean(deactn_rel) << "  (paper: 0.647, i.e. -35.3 %)\n";
+    std::cout << "DeACT-N avg speedup over I-FAM: "
+              << geomean(deactn_over_ifam) << "x  (paper: 1.8x)\n";
+    std::cout << "best speedup over I-FAM       : " << best_speedup
+              << "x on " << best_bench << "  (paper: 4.59x on cactus)\n";
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table III: the evaluated applications and their MPKI. Runs each
+ * workload profile on the E-FAM baseline and reports measured LLC
+ * MPKI against the paper's values — the calibration check for the
+ * synthetic workload substitution (DESIGN.md §1).
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+
+using namespace famsim;
+
+int
+main()
+{
+    ScopedQuietLogs quiet;
+    std::uint64_t instr = instrBudget(200000);
+
+    SeriesTable table("Table III: applications and MPKI", "bench",
+                      {"paper MPKI", "measured", "AT-sensitive"});
+    for (const auto& profile : profiles::all()) {
+        std::cerr << "table3: " << profile.name << "...\n";
+        RunResult r = runOne(makeConfig(profile, ArchKind::EFam, instr));
+        table.addRow(profile.name,
+                     {profile.paperMpki, r.mpki,
+                      profile.atSensitive ? 1.0 : 0.0});
+    }
+    table.print(std::cout);
+    std::cout << "(suite mapping: mcf/cactus/astar SPEC2006; "
+                 "frqm/canl PARSEC; bc/cc/ccsv/sssp GAP; pf Mantevo; "
+                 "dc/lu/mg/sp NAS)\n";
+    return 0;
+}

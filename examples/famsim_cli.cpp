@@ -1,0 +1,176 @@
+/**
+ * @file
+ * famsim_cli — the general-purpose driver (like SST's `sst` binary).
+ *
+ * Runs one configuration and prints the headline metrics, optionally
+ * the full statistics dump, and optionally records or replays a
+ * workload trace.
+ *
+ * Usage:
+ *   famsim_cli [options]
+ *     --bench <name>       benchmark profile (default mcf; see --list)
+ *     --arch <a>           efam | ifam | deactw | deactn (default deactn)
+ *     --instr <n>          instructions per core (default 300000)
+ *     --nodes <n>          compute nodes sharing the FAM (default 1)
+ *     --cores <n>          cores per node (default 4)
+ *     --stu-entries <n>    STU cache entries (default 1024)
+ *     --stu-assoc <n>      STU associativity (default 8)
+ *     --acm-bits <n>       ACM width: 8|16|32 (default 16)
+ *     --pairs <n>          DeACT-N (tag,ACM) pairs per way (default 2)
+ *     --fabric-ns <n>      one-way fabric latency in ns (default 450)
+ *     --seed <n>           RNG seed (default 1)
+ *     --warmup <f>         warmup fraction (default 0.3)
+ *     --record <file>      record the workload to a trace file and exit
+ *     --replay <file>      drive core 0 of node 0 from a trace file
+ *     --stats              dump every statistic after the run
+ *     --csv                dump statistics as CSV
+ *     --list               list available benchmark profiles
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/runner.hh"
+#include "workload/trace.hh"
+
+using namespace famsim;
+
+namespace {
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--bench <name>] [--arch efam|ifam|deactw|deactn]\n"
+                 "  [--instr n] [--nodes n] [--cores n] [--stu-entries n]\n"
+                 "  [--stu-assoc n] [--acm-bits 8|16|32] [--pairs 1..3]\n"
+                 "  [--fabric-ns n] [--seed n] [--warmup f]\n"
+                 "  [--record file] [--replay file] [--stats] [--csv]\n"
+                 "  [--list]\n";
+    std::exit(2);
+}
+
+ArchKind
+parseArch(const std::string& name)
+{
+    if (name == "efam") return ArchKind::EFam;
+    if (name == "ifam") return ArchKind::IFam;
+    if (name == "deactw") return ArchKind::DeactW;
+    if (name == "deactn") return ArchKind::DeactN;
+    FAMSIM_FATAL("unknown architecture '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string bench = "mcf";
+    std::string arch_name = "deactn";
+    std::string record_path, replay_path;
+    std::uint64_t instr = 300000;
+    unsigned nodes = 1, cores = 4;
+    std::size_t stu_entries = 1024, stu_assoc = 8;
+    unsigned acm_bits = 16, pairs = 2;
+    std::uint64_t fabric_ns = 450, seed = 1;
+    double warmup = 0.3;
+    bool dump_stats = false, dump_csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs a value\n";
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        std::string arg = argv[i];
+        if (arg == "--bench") bench = need("--bench");
+        else if (arg == "--arch") arch_name = need("--arch");
+        else if (arg == "--instr") instr = std::stoull(need("--instr"));
+        else if (arg == "--nodes")
+            nodes = static_cast<unsigned>(std::stoul(need("--nodes")));
+        else if (arg == "--cores")
+            cores = static_cast<unsigned>(std::stoul(need("--cores")));
+        else if (arg == "--stu-entries")
+            stu_entries = std::stoull(need("--stu-entries"));
+        else if (arg == "--stu-assoc")
+            stu_assoc = std::stoull(need("--stu-assoc"));
+        else if (arg == "--acm-bits")
+            acm_bits =
+                static_cast<unsigned>(std::stoul(need("--acm-bits")));
+        else if (arg == "--pairs")
+            pairs = static_cast<unsigned>(std::stoul(need("--pairs")));
+        else if (arg == "--fabric-ns")
+            fabric_ns = std::stoull(need("--fabric-ns"));
+        else if (arg == "--seed") seed = std::stoull(need("--seed"));
+        else if (arg == "--warmup") warmup = std::stod(need("--warmup"));
+        else if (arg == "--record") record_path = need("--record");
+        else if (arg == "--replay") replay_path = need("--replay");
+        else if (arg == "--stats") dump_stats = true;
+        else if (arg == "--csv") dump_csv = true;
+        else if (arg == "--list") {
+            for (const auto& p : profiles::all()) {
+                std::cout << p.name << "\t" << p.suite << "\tMPKI "
+                          << p.paperMpki << "\n";
+            }
+            return 0;
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            usage(argv[0]);
+        }
+    }
+
+    StreamProfile profile = profiles::byName(bench);
+
+    if (!record_path.empty()) {
+        StreamGen gen(profile, 0x100000000000ULL, seed, 0);
+        TraceWriter writer(record_path);
+        writer.record(gen, instr);
+        std::cout << "recorded " << writer.written() << " ops to "
+                  << record_path << "\n";
+        return 0;
+    }
+
+    SystemConfig config = makeConfig(profile, parseArch(arch_name),
+                                     instr);
+    config.nodes = nodes;
+    config.coresPerNode = cores;
+    config.seed = seed;
+    config.stu.entries = stu_entries;
+    config.stu.assoc = stu_assoc;
+    config.stu.acmBits = acm_bits;
+    config.stu.pairsPerWay = pairs;
+    config.fabric.latency = fabric_ns * kNanosecond;
+    config.warmupFraction = warmup;
+
+    ScopedQuietLogs quiet;
+    System system(config);
+
+    std::unique_ptr<TraceReader> trace;
+    if (!replay_path.empty()) {
+        // Replay drives a standalone check of the trace (the System
+        // owns its generators); print its footprint as a sanity check.
+        trace = std::make_unique<TraceReader>(replay_path);
+        std::cout << "replaying " << trace->size() << " ops covering "
+                  << trace->footprintPages().size() << " pages\n";
+    }
+
+    system.run();
+
+    std::cout << "bench=" << bench << " arch=" << arch_name
+              << " nodes=" << nodes << " cores=" << cores << "\n";
+    std::cout << "ipc                  = " << system.ipc() << "\n";
+    std::cout << "fam_at_percent       = " << system.famAtPercent()
+              << "\n";
+    std::cout << "translation_hit_rate = " << system.translationHitRate()
+              << "\n";
+    std::cout << "acm_hit_rate         = " << system.acmHitRate() << "\n";
+    std::cout << "mpki                 = " << system.mpki() << "\n";
+    if (dump_stats)
+        system.sim().stats().dump(std::cout);
+    if (dump_csv)
+        system.sim().stats().dumpCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Diagnostic: run one (benchmark, architecture) pair and dump every
+ * statistic — the tool to use when calibrating workload profiles or
+ * chasing a performance question.
+ *
+ * Usage: inspect [benchmark] [efam|ifam|deactw|deactn] [instructions]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/runner.hh"
+
+using namespace famsim;
+
+int
+main(int argc, char** argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "mcf";
+    std::string arch_name = argc > 2 ? argv[2] : "ifam";
+    std::uint64_t instr = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                   : 200000;
+
+    ArchKind arch = ArchKind::IFam;
+    if (arch_name == "efam")
+        arch = ArchKind::EFam;
+    else if (arch_name == "ifam")
+        arch = ArchKind::IFam;
+    else if (arch_name == "deactw")
+        arch = ArchKind::DeactW;
+    else if (arch_name == "deactn")
+        arch = ArchKind::DeactN;
+    else {
+        std::cerr << "unknown architecture '" << arch_name << "'\n";
+        return 1;
+    }
+
+    SystemConfig config = makeConfig(profiles::byName(bench), arch, instr);
+    System system(config);
+    system.run();
+
+    system.sim().stats().dump(std::cout);
+    std::cout << "\nsummary: ipc=" << system.ipc()
+              << " at%=" << system.famAtPercent()
+              << " xlate_hit=" << system.translationHitRate()
+              << " acm_hit=" << system.acmHitRate()
+              << " mpki=" << system.mpki() << "\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quickstart: build a single-node DeACT-N system (Table II defaults),
+ * run the mcf-like workload, and print the headline metrics.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+
+int
+main()
+{
+    using namespace famsim;
+
+    // 1. Pick a workload profile (Table III) and an architecture.
+    StreamProfile profile = profiles::byName("mcf");
+    SystemConfig config = makeConfig(profile, ArchKind::DeactN,
+                                     /*instr_limit=*/200000);
+
+    // 2. Build and run the system.
+    System system(config);
+    system.run();
+
+    // 3. Read the metrics the paper reports.
+    std::cout << "benchmark            : " << profile.name << "\n";
+    std::cout << "architecture         : " << toString(config.arch)
+              << "\n";
+    std::cout << "system IPC           : " << system.ipc() << "\n";
+    std::cout << "FAM AT requests      : " << system.famAtPercent()
+              << " %\n";
+    std::cout << "translation hit rate : "
+              << 100.0 * system.translationHitRate() << " %\n";
+    std::cout << "ACM hit rate         : " << 100.0 * system.acmHitRate()
+              << " %\n";
+    std::cout << "LLC MPKI             : " << system.mpki()
+              << " (paper: " << profile.paperMpki << ")\n";
+
+    // 4. For comparison, the same workload on the insecure E-FAM
+    //    baseline and the secure-but-slow I-FAM baseline.
+    for (ArchKind arch : {ArchKind::EFam, ArchKind::IFam}) {
+        RunResult r = runOne(makeConfig(profile, arch, 200000));
+        std::cout << toString(arch) << " IPC            : " << r.ipc
+                  << "\n";
+    }
+    return 0;
+}

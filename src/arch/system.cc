@@ -1,0 +1,334 @@
+#include "arch/system.hh"
+
+#include "sim/logging.hh"
+
+namespace famsim {
+namespace {
+
+/** E-FAM path: straight over the fabric, no system-level checks. */
+class DirectFamPath : public Component, public MemSink
+{
+  public:
+    DirectFamPath(Simulation& sim, const std::string& name,
+                  FabricLink& fabric, FamMedia& media, Tick node_link)
+        : Component(sim, name),
+          fabric_(fabric),
+          media_(media),
+          nodeLink_(node_link),
+          accesses_(statCounter("accesses", "direct FAM accesses"))
+    {
+    }
+
+    void
+    access(const PktPtr& pkt) override
+    {
+        FAMSIM_ASSERT(pkt->hasFam,
+                      "E-FAM path requires a direct FAM address");
+        ++accesses_;
+        // E-FAM performs no system-level vetting (Table I: insecure).
+        pkt->accessGranted = true;
+        auto orig = std::move(pkt->onDone);
+        pkt->onDone = nullptr;
+        pkt->onDone = [this, pkt, orig = std::move(orig)](Packet&) {
+            fabric_.send(FabricLink::Response, [this, pkt, orig] {
+                sim_.events().scheduleAfter(nodeLink_, [pkt, orig] {
+                    if (orig)
+                        orig(*pkt);
+                });
+            });
+        };
+        sim_.events().scheduleAfter(nodeLink_, [this, pkt] {
+            fabric_.send(FabricLink::Request,
+                         [this, pkt] { media_.access(pkt); });
+        });
+    }
+
+  private:
+    FabricLink& fabric_;
+    FamMedia& media_;
+    Tick nodeLink_;
+    Counter& accesses_;
+};
+
+/** I-FAM path: everything goes through the STU. */
+class StuFamPath : public MemSink
+{
+  public:
+    explicit StuFamPath(Stu& stu) : stu_(stu) {}
+
+    void
+    access(const PktPtr& pkt) override
+    {
+        stu_.handleFromNode(pkt);
+    }
+
+  private:
+    Stu& stu_;
+};
+
+} // namespace
+
+void
+SystemConfig::finalize()
+{
+    switch (arch) {
+      case ArchKind::EFam:
+        break;
+      case ArchKind::IFam:
+        stu.org = StuOrg::IFam;
+        break;
+      case ArchKind::DeactW:
+        stu.org = StuOrg::DeactW;
+        break;
+      case ArchKind::DeactN:
+        stu.org = StuOrg::DeactN;
+        break;
+    }
+    stu.acmBits = stu.acmBits == 0 ? 16 : stu.acmBits;
+
+    // FAM capacity and module count scale with the node count (§V-D4:
+    // memory pools proportional to nodes).
+    fam.modules = nodes;
+    fam.capacityBytes = std::uint64_t{16} << 30;
+    fam.capacityBytes *= nodes;
+
+    // The translator cache lives in the reserved top of local DRAM.
+    translator.dramCacheBase = os.localBytes - os.reservedLocalBytes;
+    FAMSIM_ASSERT(translator.cacheBytes <= os.reservedLocalBytes,
+                  "translation cache exceeds the reserved DRAM region");
+    broker.sharedReserveBytes =
+        std::min<std::uint64_t>(broker.sharedReserveBytes,
+                                fam.capacityBytes / 8);
+}
+
+System::System(SystemConfig config) : config_(std::move(config)),
+                                      sim_(config_.seed)
+{
+    config_.finalize();
+
+    layout_ = std::make_unique<FamLayout>(config_.fam.capacityBytes,
+                                          config_.stu.acmBits,
+                                          config_.broker.sharedReserveBytes);
+    acm_ = std::make_unique<AcmStore>(config_.stu.acmBits);
+    media_ = std::make_unique<FamMedia>(sim_, "fam", config_.fam);
+    fabric_ = std::make_unique<FabricLink>(sim_, "fabric",
+                                           config_.fabric);
+    broker_ = std::make_unique<MemoryBroker>(sim_, "broker",
+                                             config_.broker, *layout_,
+                                             *acm_, media_.get());
+
+    for (unsigned n = 0; n < config_.nodes; ++n)
+        broker_->registerNode(static_cast<NodeId>(n));
+    for (unsigned n = 0; n < config_.nodes; ++n)
+        buildNode(n);
+    if (config_.prefault) {
+        for (unsigned n = 0; n < config_.nodes; ++n)
+            prefaultNode(n);
+    }
+}
+
+void
+System::buildNode(unsigned index)
+{
+    auto node = std::make_unique<NodeParts>();
+    auto nid = static_cast<NodeId>(index);
+    std::string prefix = "node" + std::to_string(index);
+
+    FamMode mode = config_.arch == ArchKind::EFam ? FamMode::Exposed
+                                                  : FamMode::Indirect;
+    node->os = std::make_unique<NodeOs>(sim_, prefix + ".os", config_.os,
+                                        mode, nid, broker_.get());
+    node->dram = std::make_unique<BankedMemory>(sim_, prefix + ".dram",
+                                                config_.dram);
+
+    // FAM path, by architecture.
+    if (config_.arch == ArchKind::EFam) {
+        node->famPath = std::make_unique<DirectFamPath>(
+            sim_, prefix + ".fampath", *fabric_, *media_,
+            config_.stu.nodeLinkLatency);
+    } else {
+        node->stu = std::make_unique<Stu>(sim_, prefix + ".stu",
+                                          config_.stu, nid, *layout_,
+                                          *acm_, *broker_, *fabric_,
+                                          *media_);
+        broker_->addInvalidateListener([stu = node->stu.get()](NodeId n) {
+            stu->invalidateNode(n);
+        });
+        if (config_.arch == ArchKind::IFam) {
+            node->famPath = std::make_unique<StuFamPath>(*node->stu);
+        } else {
+            node->translator = std::make_unique<FamTranslator>(
+                sim_, prefix + ".translator", config_.translator,
+                *node->dram, *node->stu);
+            // Migration shootdown must also clear the node-side
+            // unverified translation cache (§VI).
+            broker_->addInvalidateListener(
+                [tr = node->translator.get(), nid](NodeId n) {
+                    if (n == nid)
+                        tr->invalidateAll();
+                });
+        }
+    }
+
+    MemSink& fam_sink =
+        node->translator
+            ? static_cast<MemSink&>(*node->translator)
+            : static_cast<MemSink&>(*node->famPath);
+    node->memCtrl = std::make_unique<MemController>(
+        sim_, prefix + ".memctrl", *node->os, *node->dram, fam_sink);
+    node->l3 = std::make_unique<CacheLevel>(sim_, prefix + ".l3",
+                                            config_.l3, *node->memCtrl);
+
+    NodeId logical = broker_->logicalIdOf(nid);
+    for (unsigned c = 0; c < config_.coresPerNode; ++c) {
+        NodeParts::CoreParts parts;
+        std::string cname = prefix + ".core" + std::to_string(c);
+        // The cores of a node behave like the threads of one
+        // multithreaded application (Table III suites): they share the
+        // footprint and hot pages but follow independent access
+        // sequences.
+        std::uint64_t va_base = 0x100000000000ULL;
+        parts.workload = std::make_unique<StreamGen>(
+            config_.profile, va_base, config_.seed,
+            index * 64 + c);
+        parts.tlb = std::make_unique<TwoLevelTlb>(sim_, cname + ".tlb",
+                                                  config_.tlb);
+        parts.ptwCache = std::make_unique<PtwCache>(
+            sim_, cname + ".ptwcache", config_.ptwCacheEntries);
+        parts.l2 = std::make_unique<CacheLevel>(sim_, cname + ".l2",
+                                                config_.l2, *node->l3);
+        parts.l1 = std::make_unique<CacheLevel>(sim_, cname + ".l1",
+                                                config_.l1, *parts.l2);
+        parts.walker = std::make_unique<NodePtWalker>(
+            sim_, cname + ".walker", node->os->pageTable(),
+            *parts.ptwCache, *parts.l2, nid,
+            static_cast<CoreId>(c));
+        parts.core = std::make_unique<Core>(
+            sim_, cname, config_.core, nid, logical,
+            static_cast<CoreId>(c), *parts.workload, *parts.tlb,
+            *parts.walker, *parts.l1, *node->os);
+        node->cores.push_back(std::move(parts));
+    }
+
+    nodes_.push_back(std::move(node));
+}
+
+void
+System::prefaultNode(unsigned index)
+{
+    NodeParts& node = *nodes_[index];
+    auto nid = static_cast<NodeId>(index);
+
+    // Touch every VA page of every core's footprint so the run starts
+    // from a steady state (the paper simulates post-initialization HPC
+    // kernels; first-touch costs are not part of the evaluation).
+    for (auto& core : node.cores) {
+        for (std::uint64_t va_page : core.workload->footprintPages()) {
+            if (!node.os->pageTable().lookup(va_page))
+                node.os->handleFault(va_page);
+        }
+    }
+
+    if (config_.arch == ArchKind::EFam)
+        return; // direct mappings were installed by the patched OS
+
+    // Establish the system-level NPA -> FAM mappings for every FAM-zone
+    // page the node allocated (data and page-table pages alike).
+    auto& fam_table = broker_->famTableOf(nid);
+    NodeId logical = broker_->logicalIdOf(nid);
+    for (std::uint64_t npa_page : node.os->famZonePages()) {
+        if (!fam_table.lookup(npa_page)) {
+            std::uint64_t fam_page = broker_->allocPage(logical, Perms{});
+            fam_table.map(npa_page, fam_page, Perms{});
+        }
+    }
+}
+
+void
+System::run()
+{
+    finished_ = 0;
+    unsigned total = config_.nodes * config_.coresPerNode;
+
+    // Warmup handling: when core 0 of node 0 crosses the warmup mark,
+    // reset all statistics and open every core's measurement window.
+    if (config_.warmupFraction > 0.0) {
+        auto warmup_at = static_cast<std::uint64_t>(
+            config_.warmupFraction *
+            static_cast<double>(config_.core.instructionLimit));
+        Core& lead = *nodes_[0]->cores[0].core;
+        lead.setPhaseCallback(warmup_at, [this] {
+            sim_.stats().resetAll();
+            for (auto& node : nodes_) {
+                for (auto& core : node->cores)
+                    core.core->markWindow();
+            }
+        });
+    }
+
+    for (auto& node : nodes_) {
+        for (auto& core : node->cores)
+            core.core->start([this] { ++finished_; });
+    }
+
+    while (finished_ < total) {
+        if (!sim_.events().runOne())
+            FAMSIM_PANIC("event queue drained with ", total - finished_,
+                         " cores still running (deadlock)");
+    }
+    // Drain remaining in-flight events (responses, writebacks).
+    sim_.run();
+}
+
+double
+System::ipc() const
+{
+    double sum = 0.0;
+    for (const auto& node : nodes_) {
+        for (const auto& core : node->cores)
+            sum += core.core->ipc();
+    }
+    return sum;
+}
+
+double
+System::famAtPercent() const
+{
+    double total = static_cast<double>(media_->totalRequests());
+    if (total == 0.0)
+        return 0.0;
+    return 100.0 * static_cast<double>(media_->atRequests()) / total;
+}
+
+double
+System::translationHitRate() const
+{
+    const NodeParts& node = *nodes_[0];
+    if (node.translator)
+        return node.translator->hitRate();
+    if (node.stu)
+        return node.stu->translationHitRate();
+    return 1.0; // E-FAM: no system-level translation at all
+}
+
+double
+System::acmHitRate() const
+{
+    const NodeParts& node = *nodes_[0];
+    if (node.stu)
+        return node.stu->acmHitRate();
+    return 1.0;
+}
+
+double
+System::mpki() const
+{
+    const auto& stats = sim_.stats();
+    double misses = stats.sumMatching(".l3.misses");
+    double instructions = stats.sumMatching(".instructions");
+    if (instructions == 0.0)
+        return 0.0;
+    return 1000.0 * misses / instructions;
+}
+
+} // namespace famsim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Whole-system assembly: builds an E-FAM, I-FAM, DeACT-W or DeACT-N
+ * system (Fig. 2 / Fig. 6) out of the substrate components and runs a
+ * workload on it.
+ *
+ * This is the library's main entry point: construct a SystemConfig,
+ * build a System, call run(), read the metrics.
+ */
+
+#ifndef FAMSIM_ARCH_SYSTEM_HH
+#define FAMSIM_ARCH_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_level.hh"
+#include "deact/fam_translator.hh"
+#include "fabric/fabric_link.hh"
+#include "fam/acm.hh"
+#include "fam/broker.hh"
+#include "fam/fam_media.hh"
+#include "node/core.hh"
+#include "node/mem_ctrl.hh"
+#include "sim/simulation.hh"
+#include "stu/stu.hh"
+#include "vm/node_os.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+#include "workload/stream_gen.hh"
+
+namespace famsim {
+
+/** The four architectures compared in the paper. */
+enum class ArchKind : std::uint8_t { EFam, IFam, DeactW, DeactN };
+
+/** @return printable name of an architecture. */
+[[nodiscard]] constexpr const char*
+toString(ArchKind arch)
+{
+    switch (arch) {
+      case ArchKind::EFam: return "E-FAM";
+      case ArchKind::IFam: return "I-FAM";
+      case ArchKind::DeactW: return "DeACT-W";
+      case ArchKind::DeactN: return "DeACT-N";
+    }
+    return "?";
+}
+
+/** Complete system configuration (defaults reproduce Table II). */
+struct SystemConfig {
+    ArchKind arch = ArchKind::DeactN;
+    unsigned nodes = 1;
+    unsigned coresPerNode = 4;
+    std::uint64_t seed = 1;
+
+    CoreParams core{};
+    TwoLevelTlb::Params tlb{};
+    CacheParams l1{32 * 1024, 8, 1 * kNanosecond, ReplPolicy::Lru};
+    CacheParams l2{256 * 1024, 8, 6 * kNanosecond, ReplPolicy::Lru};
+    CacheParams l3{1024 * 1024, 16, 15 * kNanosecond, ReplPolicy::Lru};
+    std::size_t ptwCacheEntries = 32;
+
+    NodeOsParams os{};
+    BankedMemoryParams dram{16, 45 * kNanosecond, 45 * kNanosecond,
+                            5 * kNanosecond, 0};
+    FamMediaParams fam{};
+    FabricParams fabric{};
+    StuParams stu{};
+    FamTranslatorParams translator{};
+    BrokerParams broker{};
+
+    /** Workload run (identically, rate-mode) on every core. */
+    StreamProfile profile = profiles::byName("mcf");
+
+    /** Pre-map the whole footprint before timing (steady state). */
+    bool prefault = true;
+    /** Fraction of instructions treated as warmup (stats discarded). */
+    double warmupFraction = 0.1;
+
+    /** Apply the architecture-specific derived settings. */
+    void finalize();
+};
+
+/** One compute node's hardware. */
+struct NodeParts {
+    std::unique_ptr<NodeOs> os;
+    std::unique_ptr<BankedMemory> dram;
+    std::unique_ptr<Stu> stu;                 //!< null in E-FAM
+    std::unique_ptr<FamTranslator> translator; //!< DeACT only
+    std::unique_ptr<MemSink> famPath;
+    std::unique_ptr<MemController> memCtrl;
+    std::unique_ptr<CacheLevel> l3;
+
+    struct CoreParts {
+        std::unique_ptr<StreamGen> workload;
+        std::unique_ptr<TwoLevelTlb> tlb;
+        std::unique_ptr<PtwCache> ptwCache;
+        std::unique_ptr<NodePtWalker> walker;
+        std::unique_ptr<CacheLevel> l2;
+        std::unique_ptr<CacheLevel> l1;
+        std::unique_ptr<Core> core;
+    };
+    std::vector<CoreParts> cores;
+};
+
+/** A complete simulated FAM system. */
+class System
+{
+  public:
+    explicit System(SystemConfig config);
+
+    /** Run every core to its instruction limit (with warmup). */
+    void run();
+
+    // -- metrics (measurement window) -----------------------------------
+
+    /** System IPC: sum of per-core window IPCs. */
+    [[nodiscard]] double ipc() const;
+    /** % of requests at FAM that are address translation (Fig. 4/11). */
+    [[nodiscard]] double famAtPercent() const;
+    /** FAM address-translation hit rate (Fig. 10). */
+    [[nodiscard]] double translationHitRate() const;
+    /** ACM hit rate at the STU (Fig. 9). */
+    [[nodiscard]] double acmHitRate() const;
+    /** LLC misses per kilo-instruction (Table III check). */
+    [[nodiscard]] double mpki() const;
+
+    [[nodiscard]] Simulation& sim() { return sim_; }
+    [[nodiscard]] const SystemConfig& config() const { return config_; }
+    [[nodiscard]] NodeParts& node(unsigned i) { return *nodes_[i]; }
+    [[nodiscard]] MemoryBroker& broker() { return *broker_; }
+    [[nodiscard]] FamMedia& media() { return *media_; }
+    [[nodiscard]] AcmStore& acm() { return *acm_; }
+    [[nodiscard]] FamLayout& layout() { return *layout_; }
+
+  private:
+    void buildNode(unsigned index);
+    void prefaultNode(unsigned index);
+
+    SystemConfig config_;
+    Simulation sim_;
+
+    std::unique_ptr<FamLayout> layout_;
+    std::unique_ptr<AcmStore> acm_;
+    std::unique_ptr<FamMedia> media_;
+    std::unique_ptr<FabricLink> fabric_;
+    std::unique_ptr<MemoryBroker> broker_;
+    std::vector<std::unique_ptr<NodeParts>> nodes_;
+
+    unsigned finished_ = 0;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_ARCH_SYSTEM_HH

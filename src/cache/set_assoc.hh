@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Generic set-associative tag store with pluggable replacement.
+ *
+ * Used by the data caches, the TLBs, the PTW caches, the STU cache
+ * organizations and the in-DRAM FAM translation cache — everything in
+ * the paper that behaves like "a set-associative array of (tag, value)".
+ */
+
+#ifndef FAMSIM_CACHE_SET_ASSOC_HH
+#define FAMSIM_CACHE_SET_ASSOC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace famsim {
+
+/** Replacement policy selection for SetAssocCache. */
+enum class ReplPolicy : std::uint8_t {
+    Lru,     //!< Least recently used (exact, timestamp based).
+    Random,  //!< Uniform random victim (the paper's translation cache).
+    TreePlru //!< Tree pseudo-LRU.
+};
+
+/** @return printable name of a replacement policy. */
+[[nodiscard]] constexpr const char*
+toString(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Lru: return "LRU";
+      case ReplPolicy::Random: return "Random";
+      case ReplPolicy::TreePlru: return "TreePLRU";
+    }
+    return "?";
+}
+
+/**
+ * Set-associative cache of (key -> V).
+ *
+ * Keys are full 64-bit identifiers (block numbers, page numbers...);
+ * the set index is key % sets and the stored tag is key / sets.
+ */
+template <typename V>
+class SetAssocCache
+{
+  public:
+    /** Result of an insertion that displaced a valid entry. */
+    struct Evicted {
+        std::uint64_t key;
+        V value;
+    };
+
+    SetAssocCache(std::size_t sets, std::size_t ways,
+                  ReplPolicy policy = ReplPolicy::Lru,
+                  std::uint64_t seed = 1)
+        : sets_(sets),
+          ways_(ways),
+          policy_(policy),
+          lines_(sets * ways),
+          plruBits_(policy == ReplPolicy::TreePlru ? sets * ways : 0, 0),
+          rng_(seed, 0x5e77)
+    {
+        FAMSIM_ASSERT(sets_ > 0 && ways_ > 0,
+                      "cache must have >= 1 set and way");
+    }
+
+    /** Look up @p key, updating recency on hit. @return value or null. */
+    V*
+    lookup(std::uint64_t key)
+    {
+        Line* line = find(key);
+        if (!line)
+            return nullptr;
+        touch(key, line);
+        return &line->value;
+    }
+
+    /** Look up without updating replacement state. */
+    const V*
+    probe(std::uint64_t key) const
+    {
+        const Line* line = find(key);
+        return line ? &line->value : nullptr;
+    }
+
+    /**
+     * Insert (or overwrite) @p key. @return the displaced valid entry,
+     * if the victim way held one and its key differs from @p key.
+     */
+    std::optional<Evicted>
+    insert(std::uint64_t key, V value)
+    {
+        std::size_t set = setIndex(key);
+        std::uint64_t tag = key / sets_;
+        Line* free_line = nullptr;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line& line = lines_[set * ways_ + w];
+            if (line.valid && line.tag == tag) {
+                line.value = std::move(value);
+                touch(key, &line);
+                return std::nullopt;
+            }
+            if (!line.valid && !free_line)
+                free_line = &line;
+        }
+        Line* victim = free_line ? free_line : pickVictim(set);
+        std::optional<Evicted> evicted;
+        if (victim->valid)
+            evicted = Evicted{victim->tag * sets_ + set,
+                              std::move(victim->value)};
+        victim->valid = true;
+        victim->tag = tag;
+        victim->value = std::move(value);
+        touch(key, victim);
+        return evicted;
+    }
+
+    /** Invalidate @p key if present. @return true if it was present. */
+    bool
+    invalidate(std::uint64_t key)
+    {
+        Line* line = find(key);
+        if (!line)
+            return false;
+        line->valid = false;
+        return true;
+    }
+
+    /** Invalidate every entry. */
+    void
+    invalidateAll()
+    {
+        for (auto& line : lines_)
+            line.valid = false;
+    }
+
+    /** Invalidate entries whose value matches @p pred. @return count. */
+    template <typename Pred>
+    std::size_t
+    invalidateIf(Pred pred)
+    {
+        std::size_t count = 0;
+        for (auto& line : lines_) {
+            if (line.valid && pred(line.value)) {
+                line.valid = false;
+                ++count;
+            }
+        }
+        return count;
+    }
+
+    /** Number of valid entries (linear scan; for tests/stats). */
+    [[nodiscard]] std::size_t
+    countValid() const
+    {
+        std::size_t n = 0;
+        for (const auto& line : lines_)
+            n += line.valid ? 1 : 0;
+        return n;
+    }
+
+    [[nodiscard]] std::size_t sets() const { return sets_; }
+    [[nodiscard]] std::size_t ways() const { return ways_; }
+    [[nodiscard]] std::size_t capacity() const { return sets_ * ways_; }
+    [[nodiscard]] ReplPolicy policy() const { return policy_; }
+
+  private:
+    struct Line {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        V value{};
+    };
+
+    [[nodiscard]] std::size_t setIndex(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(key % sets_);
+    }
+
+    Line*
+    find(std::uint64_t key)
+    {
+        std::size_t set = setIndex(key);
+        std::uint64_t tag = key / sets_;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line& line = lines_[set * ways_ + w];
+            if (line.valid && line.tag == tag)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    const Line*
+    find(std::uint64_t key) const
+    {
+        return const_cast<SetAssocCache*>(this)->find(key);
+    }
+
+    void
+    touch(std::uint64_t key, Line* line)
+    {
+        line->lastUse = ++useClock_;
+        if (policy_ == ReplPolicy::TreePlru) {
+            // Mark the accessed way as most recently used by setting
+            // its bit; victims are chosen among zero bits.
+            std::size_t set = setIndex(key);
+            std::size_t w = static_cast<std::size_t>(line -
+                                                     &lines_[set * ways_]);
+            auto* bits = &plruBits_[set * ways_];
+            bits[w] = 1;
+            // If all bits set, clear all but the current one.
+            bool all = true;
+            for (std::size_t i = 0; i < ways_; ++i)
+                all = all && bits[i];
+            if (all) {
+                for (std::size_t i = 0; i < ways_; ++i)
+                    bits[i] = (i == w) ? 1 : 0;
+            }
+        }
+    }
+
+    Line*
+    pickVictim(std::size_t set)
+    {
+        Line* base = &lines_[set * ways_];
+        switch (policy_) {
+          case ReplPolicy::Random:
+            return base + rng_.below(static_cast<std::uint32_t>(ways_));
+          case ReplPolicy::TreePlru: {
+            auto* bits = &plruBits_[set * ways_];
+            for (std::size_t w = 0; w < ways_; ++w) {
+                if (!bits[w])
+                    return base + w;
+            }
+            return base; // all bits set (transient); fall back to way 0
+          }
+          case ReplPolicy::Lru:
+          default: {
+            Line* victim = base;
+            for (std::size_t w = 1; w < ways_; ++w) {
+                if (base[w].lastUse < victim->lastUse)
+                    victim = base + w;
+            }
+            return victim;
+          }
+        }
+    }
+
+    std::size_t sets_;
+    std::size_t ways_;
+    ReplPolicy policy_;
+    std::vector<Line> lines_;
+    std::vector<std::uint8_t> plruBits_;
+    std::uint64_t useClock_ = 0;
+    Rng rng_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_CACHE_SET_ASSOC_HH

@@ -1,0 +1,30 @@
+#include "fabric/fabric_link.hh"
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+FabricLink::FabricLink(Simulation& sim, const std::string& name,
+                       const FabricParams& params)
+    : Component(sim, name),
+      params_(params),
+      packets_(statCounter("packets", "packets transferred")),
+      queueing_(statHistogram("queueing_ns",
+                              "serialization queueing delay (ns)",
+                              /*bucket_width=*/10, /*buckets=*/32))
+{
+}
+
+void
+FabricLink::send(Channel channel, std::function<void()> deliver)
+{
+    FAMSIM_ASSERT(deliver, "fabric delivery callback must be non-null");
+    Tick now = sim_.curTick();
+    Tick start = std::max(now, channelFree_[channel]);
+    channelFree_[channel] = start + params_.serialization;
+    ++packets_;
+    queueing_.sample((start - now) / kNanosecond);
+    sim_.events().schedule(start + params_.latency, std::move(deliver));
+}
+
+} // namespace famsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Memory-semantic fabric model (Gen-Z/CXL-style).
+ *
+ * The fabric is modelled as a full-duplex channel pair with a one-way
+ * propagation latency (Table II: 500 ns end to end; we default the
+ * STU->FAM segment to 450 ns with 50 ns for the node->STU hop) and a
+ * per-packet serialization time that produces contention when several
+ * nodes share the fabric (Fig. 16).
+ */
+
+#ifndef FAMSIM_FABRIC_FABRIC_LINK_HH
+#define FAMSIM_FABRIC_FABRIC_LINK_HH
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "sim/simulation.hh"
+
+namespace famsim {
+
+/** Fabric timing parameters. */
+struct FabricParams {
+    /** One-way propagation latency. */
+    Tick latency = 450 * kNanosecond;
+    /** Channel occupancy per 64 B packet (bandwidth model). */
+    Tick serialization = 2 * kNanosecond;
+};
+
+/** A shared, full-duplex fabric channel. */
+class FabricLink : public Component
+{
+  public:
+    /** Direction of travel on the link. */
+    enum Channel : unsigned { Request = 0, Response = 1 };
+
+    FabricLink(Simulation& sim, const std::string& name,
+               const FabricParams& params);
+
+    /**
+     * Transmit one packet-worth of data on @p channel; @p deliver runs
+     * when it reaches the far end. Queueing delay due to serialization
+     * is applied before propagation.
+     */
+    void send(Channel channel, std::function<void()> deliver);
+
+    [[nodiscard]] Tick latency() const { return params_.latency; }
+    [[nodiscard]] const FabricParams& params() const { return params_; }
+
+  private:
+    FabricParams params_;
+    std::array<Tick, 2> channelFree_{0, 0};
+    Counter& packets_;
+    Histogram& queueing_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_FABRIC_FABRIC_LINK_HH

@@ -1,0 +1,151 @@
+#include "fam/acm.hh"
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+FamLayout::FamLayout(std::uint64_t capacity_bytes, unsigned acm_bits,
+                     std::uint64_t shared_reserve_bytes)
+    : capacity_(capacity_bytes),
+      acmBits_(acm_bits),
+      sharedReserve_(shared_reserve_bytes)
+{
+    FAMSIM_ASSERT(acm_bits == 8 || acm_bits == 16 || acm_bits == 32,
+                  "ACM width must be 8, 16 or 32 bits, got ", acm_bits);
+    FAMSIM_ASSERT(capacity_bytes % kLargePageSize == 0,
+                  "FAM capacity must be a multiple of 1 GB");
+
+    // Solve for the usable size: every usable page needs acm_bits of
+    // metadata and every 1 GB region needs an 8 KB bitmap. We size the
+    // metadata regions for the full capacity (slightly conservative,
+    // as the paper does — the overhead is < 0.1 %).
+    std::uint64_t total_pages = capacity_bytes / kPageSize;
+    std::uint64_t acm_bytes = total_pages * (acmBits_ / 8);
+    std::uint64_t regions = capacity_bytes / kLargePageSize;
+    std::uint64_t bitmap_bytes = regions * kBitmapBytesPerRegion;
+
+    std::uint64_t metadata = acm_bytes + bitmap_bytes;
+    // Round metadata up to a page boundary.
+    metadata = (metadata + kPageSize - 1) & ~(kPageSize - 1);
+    FAMSIM_ASSERT(metadata < capacity_bytes,
+                  "metadata would consume the whole FAM");
+
+    usable_ = capacity_bytes - metadata;
+    usable_ &= ~(kPageSize - 1);
+    acmBase_ = usable_;
+    bitmapBase_ = acmBase_ + acm_bytes;
+    FAMSIM_ASSERT(sharedReserve_ < usable_,
+                  "shared reserve exceeds usable space");
+}
+
+AcmStore::AcmStore(unsigned acm_bits) : acmBits_(acm_bits)
+{
+    FAMSIM_ASSERT(acm_bits == 8 || acm_bits == 16 || acm_bits == 32,
+                  "ACM width must be 8, 16 or 32 bits, got ", acm_bits);
+}
+
+std::uint32_t
+AcmStore::encode(const AcmEntry& entry) const
+{
+    FAMSIM_ASSERT(entry.owner <= sharedMarker(),
+                  "node id ", entry.owner, " does not fit in ",
+                  nodeIdBits(), " bits");
+    return (entry.owner << 2) | (entry.permBits & 3);
+}
+
+AcmEntry
+AcmStore::decode(std::uint32_t bits) const
+{
+    AcmEntry entry;
+    entry.permBits = static_cast<std::uint8_t>(bits & 3);
+    entry.owner = (bits >> 2) & sharedMarker();
+    return entry;
+}
+
+void
+AcmStore::set(std::uint64_t fam_page, const AcmEntry& entry)
+{
+    FAMSIM_ASSERT(entry.owner <= sharedMarker(),
+                  "node id out of range for ACM width");
+    entries_[fam_page] = entry;
+}
+
+AcmEntry
+AcmStore::get(std::uint64_t fam_page) const
+{
+    auto it = entries_.find(fam_page);
+    return it == entries_.end() ? AcmEntry{} : it->second;
+}
+
+void
+AcmStore::clear(std::uint64_t fam_page)
+{
+    entries_.erase(fam_page);
+}
+
+void
+AcmStore::markShared(std::uint64_t fam_page, std::uint8_t default_perms)
+{
+    entries_[fam_page] = AcmEntry{sharedMarker(),
+                                  static_cast<std::uint8_t>(
+                                      default_perms & 3)};
+}
+
+void
+AcmStore::grantRegion(std::uint64_t region, NodeId node, Perms perms)
+{
+    regionGrants_[region][node] = perms.encode2b();
+}
+
+void
+AcmStore::revokeRegion(std::uint64_t region, NodeId node)
+{
+    auto it = regionGrants_.find(region);
+    if (it != regionGrants_.end())
+        it->second.erase(node);
+}
+
+bool
+AcmStore::regionAllows(std::uint64_t region, NodeId node) const
+{
+    auto it = regionGrants_.find(region);
+    return it != regionGrants_.end() && it->second.count(node) > 0;
+}
+
+Perms
+AcmStore::regionPerms(std::uint64_t region, NodeId node) const
+{
+    auto it = regionGrants_.find(region);
+    if (it == regionGrants_.end())
+        return Perms{false, false, false};
+    auto nit = it->second.find(node);
+    if (nit == it->second.end())
+        return Perms{false, false, false};
+    return Perms::decode2b(nit->second);
+}
+
+std::vector<std::uint64_t>
+AcmStore::pagesOwnedBy(std::uint32_t node) const
+{
+    std::vector<std::uint64_t> pages;
+    for (const auto& [page, entry] : entries_) {
+        if (entry.owner == node)
+            pages.push_back(page);
+    }
+    return pages;
+}
+
+std::size_t
+AcmStore::reassignOwner(std::uint32_t from, std::uint32_t to)
+{
+    std::size_t count = 0;
+    for (auto& [page, entry] : entries_) {
+        if (entry.owner == from) {
+            entry.owner = to;
+            ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace famsim

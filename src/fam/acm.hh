@@ -1,0 +1,186 @@
+/**
+ * @file
+ * FAM physical layout and access-control metadata (ACM), §III-A / Fig. 5.
+ *
+ * The FAM is carved into three regions:
+ *   [0, usableBytes)                      usable memory,
+ *   [acmBase, acmBase + acmBytes)         per-4KB-page ACM entries,
+ *   [bitmapBase, bitmapBase + bmBytes)    one 8 KB share-bitmap per 1 GB.
+ *
+ * An ACM entry is `acmBits` wide (default 16): the low 2 bits encode
+ * R/W/E permissions, the remaining bits hold the owning (logical) node
+ * id; the all-ones node id marks a shared page. The ACM address of FAM
+ * page X is derivable purely from X (acmBase + X * acmBits/8), which is
+ * what lets the STU fetch metadata without any extra mapping state.
+ */
+
+#ifndef FAMSIM_FAM_ACM_HH
+#define FAMSIM_FAM_ACM_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+#include "vm/page_table.hh"
+
+namespace famsim {
+
+/** Geometry of the FAM address space. */
+class FamLayout
+{
+  public:
+    /**
+     * @param capacity_bytes total FAM media capacity.
+     * @param acm_bits       ACM entry width (8, 16 or 32; Fig. 14).
+     */
+    FamLayout(std::uint64_t capacity_bytes, unsigned acm_bits = 16,
+              std::uint64_t shared_reserve_bytes = 0);
+
+    [[nodiscard]] std::uint64_t capacityBytes() const { return capacity_; }
+    [[nodiscard]] unsigned acmBits() const { return acmBits_; }
+
+    /** Bytes of usable (allocatable) memory. */
+    [[nodiscard]] std::uint64_t usableBytes() const { return usable_; }
+    [[nodiscard]] std::uint64_t usablePages() const
+    {
+        return usable_ / kPageSize;
+    }
+
+    /** Start of the ACM entry region. */
+    [[nodiscard]] std::uint64_t acmBase() const { return acmBase_; }
+    /** Start of the shared-page bitmap region. */
+    [[nodiscard]] std::uint64_t bitmapBase() const { return bitmapBase_; }
+
+    /** FAM address of the ACM entry for @p fam_page. */
+    [[nodiscard]] FamAddr
+    acmAddrForPage(std::uint64_t fam_page) const
+    {
+        return FamAddr(acmBase_ + fam_page * (acmBits_ / 8));
+    }
+
+    /** 64 B-aligned block containing the ACM entry for @p fam_page. */
+    [[nodiscard]] FamAddr
+    acmBlockForPage(std::uint64_t fam_page) const
+    {
+        return acmAddrForPage(fam_page).blockAddr();
+    }
+
+    /** 4 KB pages covered by one 64 B ACM block (32 for 16-bit ACM). */
+    [[nodiscard]] unsigned
+    pagesPerAcmBlock() const
+    {
+        return static_cast<unsigned>(kBlockSize * 8 / acmBits_);
+    }
+
+    /** 1 GB region index containing @p fam_page. */
+    [[nodiscard]] static std::uint64_t
+    regionOf(std::uint64_t fam_page)
+    {
+        return fam_page / (kLargePageSize / kPageSize);
+    }
+
+    /** FAM address of the bitmap byte for (@p region, @p node). */
+    [[nodiscard]] FamAddr
+    bitmapAddrFor(std::uint64_t region, NodeId node) const
+    {
+        return FamAddr(bitmapBase_ + region * kBitmapBytesPerRegion +
+                       node / 8);
+    }
+
+    /** Bytes of bitmap per 1 GB region (64K nodes / 8). */
+    static constexpr std::uint64_t kBitmapBytesPerRegion = 8 * 1024;
+
+    /** Pages reserved (at the top of usable space) for shared regions. */
+    [[nodiscard]] std::uint64_t sharedReservePages() const
+    {
+        return sharedReserve_ / kPageSize;
+    }
+
+  private:
+    std::uint64_t capacity_;
+    unsigned acmBits_;
+    std::uint64_t usable_;
+    std::uint64_t acmBase_;
+    std::uint64_t bitmapBase_;
+    std::uint64_t sharedReserve_;
+};
+
+/** Decoded ACM entry. */
+struct AcmEntry {
+    /** Owning logical node, or the shared marker. */
+    std::uint32_t owner = 0;
+    /** 2-bit permission encoding (Perms::encode2b). */
+    std::uint8_t permBits = 0;
+
+    bool operator==(const AcmEntry&) const = default;
+};
+
+/**
+ * Functional contents of the ACM + bitmap regions, plus the raw
+ * encode/decode logic for the configurable entry width.
+ */
+class AcmStore
+{
+  public:
+    explicit AcmStore(unsigned acm_bits = 16);
+
+    /** Number of bits holding the node id. */
+    [[nodiscard]] unsigned nodeIdBits() const { return acmBits_ - 2; }
+    /** The all-ones owner value marking a shared page. */
+    [[nodiscard]] std::uint32_t sharedMarker() const
+    {
+        return (1u << nodeIdBits()) - 1;
+    }
+    /** Highest assignable node id (shared marker is reserved). */
+    [[nodiscard]] std::uint32_t maxNodes() const
+    {
+        return sharedMarker() - 1;
+    }
+
+    /** Raw bit encoding of an entry (for width/round-trip tests). */
+    [[nodiscard]] std::uint32_t encode(const AcmEntry& entry) const;
+    [[nodiscard]] AcmEntry decode(std::uint32_t bits) const;
+
+    /** Set the ACM entry of @p fam_page. */
+    void set(std::uint64_t fam_page, const AcmEntry& entry);
+    /** Get the ACM entry (zero/no-access if never set). */
+    [[nodiscard]] AcmEntry get(std::uint64_t fam_page) const;
+    /** Remove the entry (page freed). */
+    void clear(std::uint64_t fam_page);
+
+    /** Mark @p fam_page shared (owner bits = shared marker). */
+    void markShared(std::uint64_t fam_page, std::uint8_t default_perms);
+
+    /** Grant @p node access to @p region with @p perms (bitmap bit). */
+    void grantRegion(std::uint64_t region, NodeId node, Perms perms);
+    /** Revoke @p node's access to @p region. */
+    void revokeRegion(std::uint64_t region, NodeId node);
+    /** Bitmap check: may @p node access pages in @p region at all? */
+    [[nodiscard]] bool regionAllows(std::uint64_t region,
+                                    NodeId node) const;
+    /** Per-node permissions within a shared region. */
+    [[nodiscard]] Perms regionPerms(std::uint64_t region,
+                                    NodeId node) const;
+
+    /** Pages currently owned by @p node (for migration). */
+    [[nodiscard]] std::vector<std::uint64_t>
+    pagesOwnedBy(std::uint32_t node) const;
+
+    /** Rewrite ownership of every page of @p from to @p to. @return n. */
+    std::size_t reassignOwner(std::uint32_t from, std::uint32_t to);
+
+  private:
+    unsigned acmBits_;
+    std::unordered_map<std::uint64_t, AcmEntry> entries_;
+    /** region -> (node -> 2-bit perms); presence == bitmap bit set. */
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<NodeId, std::uint8_t>>
+        regionGrants_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_FAM_ACM_HH

@@ -1,0 +1,53 @@
+#include "fam/fam_media.hh"
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+FamMedia::FamMedia(Simulation& sim, const std::string& name,
+                   const FamMediaParams& params)
+    : Component(sim, name),
+      params_(params),
+      total_(statCounter("requests", "total requests at FAM")),
+      at_(statCounter("at_requests",
+                      "address-translation requests at FAM")),
+      data_(statCounter("data_requests", "data (non-AT) requests at FAM")),
+      famPtw_(statCounter("fam_ptw_requests",
+                          "FAM page-table walk requests")),
+      acm_(statCounter("acm_requests", "ACM fetch requests")),
+      bitmap_(statCounter("bitmap_requests",
+                          "shared-page bitmap requests")),
+      nodePtw_(statCounter("node_ptw_requests",
+                           "node page-table walk requests reaching FAM")),
+      broker_(statCounter("broker_requests",
+                          "broker bookkeeping requests at FAM"))
+{
+    FAMSIM_ASSERT(params.modules > 0, "FAM needs at least one module");
+    for (unsigned i = 0; i < params.modules; ++i) {
+        modules_.push_back(std::make_unique<BankedMemory>(
+            sim, name + ".module" + std::to_string(i), params.nvm));
+    }
+}
+
+void
+FamMedia::access(const PktPtr& pkt)
+{
+    FAMSIM_ASSERT(pkt->hasFam || pkt->kind != PacketKind::Data,
+                  "data packet reached FAM without a FAM address");
+    ++total_;
+    switch (pkt->kind) {
+      case PacketKind::Data: ++data_; break;
+      case PacketKind::FamPtw: ++at_; ++famPtw_; break;
+      case PacketKind::Acm: ++at_; ++acm_; break;
+      case PacketKind::Bitmap: ++at_; ++bitmap_; break;
+      case PacketKind::NodePtw: ++at_; ++nodePtw_; break;
+      case PacketKind::Broker: ++at_; ++broker_; break;
+    }
+
+    std::uint64_t addr = pkt->fam.value();
+    unsigned module = static_cast<unsigned>(
+        (addr / params_.interleaveBytes) % modules_.size());
+    modules_[module]->access(pkt, addr);
+}
+
+} // namespace famsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The FAM media: one or more NVM modules (memory pools) behind the
+ * fabric, page-interleaved. Aggregates the AT / non-AT request
+ * accounting used by Fig. 4 and Fig. 11.
+ */
+
+#ifndef FAMSIM_FAM_FAM_MEDIA_HH
+#define FAMSIM_FAM_FAM_MEDIA_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/banked_memory.hh"
+#include "mem/packet.hh"
+#include "sim/simulation.hh"
+
+namespace famsim {
+
+/** FAM media configuration (Table II: 16 GB NVM, 60/150 ns, 32 banks). */
+struct FamMediaParams {
+    std::uint64_t capacityBytes = std::uint64_t{16} << 30;
+    unsigned modules = 1;
+    /** Interleave granularity across modules. */
+    std::uint64_t interleaveBytes = kPageSize;
+    BankedMemoryParams nvm{
+        .banks = 32,
+        .readLatency = 60 * kNanosecond,
+        .writeLatency = 150 * kNanosecond,
+        .frontendLatency = 5 * kNanosecond,
+        .maxOutstanding = 128,
+    };
+};
+
+/** The fabric-attached NVM pool(s). Accessed with FAM addresses. */
+class FamMedia : public Component
+{
+  public:
+    FamMedia(Simulation& sim, const std::string& name,
+             const FamMediaParams& params);
+
+    /** Service @p pkt (pkt->fam must be valid). */
+    void access(const PktPtr& pkt);
+
+    [[nodiscard]] const FamMediaParams& params() const { return params_; }
+    [[nodiscard]] BankedMemory& module(unsigned i) { return *modules_[i]; }
+    [[nodiscard]] unsigned numModules() const
+    {
+        return static_cast<unsigned>(modules_.size());
+    }
+
+    /** Total requests observed (for Fig. 4 / Fig. 11 percentages). */
+    [[nodiscard]] std::uint64_t totalRequests() const
+    {
+        return total_.value();
+    }
+    /** Address-translation requests observed. */
+    [[nodiscard]] std::uint64_t atRequests() const { return at_.value(); }
+
+  private:
+    FamMediaParams params_;
+    std::vector<std::unique_ptr<BankedMemory>> modules_;
+    Counter& total_;
+    Counter& at_;
+    Counter& data_;
+    Counter& famPtw_;
+    Counter& acm_;
+    Counter& bitmap_;
+    Counter& nodePtw_;
+    Counter& broker_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_FAM_FAM_MEDIA_HH

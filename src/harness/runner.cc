@@ -1,0 +1,133 @@
+#include "harness/runner.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+std::uint64_t
+instrBudget(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("FAMSIM_INSTR")) {
+        char* end = nullptr;
+        std::uint64_t value = std::strtoull(env, &end, 10);
+        if (end && *end == '\0' && value > 0)
+            return value;
+        warn("ignoring malformed FAMSIM_INSTR='", env, "'");
+    }
+    return fallback;
+}
+
+SystemConfig
+makeConfig(const StreamProfile& profile, ArchKind arch,
+           std::uint64_t instr_limit)
+{
+    SystemConfig config;
+    config.arch = arch;
+    config.profile = profile;
+    config.core.instructionLimit =
+        instr_limit != 0 ? instr_limit : instrBudget(300000);
+    // The paper measures 100M-instruction steady-state windows; with
+    // our scaled-down runs a generous warmup is needed before the
+    // large in-DRAM translation cache reaches steady state.
+    config.warmupFraction = 0.3;
+    return config;
+}
+
+RunResult
+runOne(const SystemConfig& config)
+{
+    System system(config);
+    system.run();
+
+    RunResult result;
+    result.benchmark = config.profile.name;
+    result.arch = config.arch;
+    result.ipc = system.ipc();
+    result.famAtPercent = system.famAtPercent();
+    result.translationHitRate = system.translationHitRate();
+    result.acmHitRate = system.acmHitRate();
+    result.mpki = system.mpki();
+    result.famRequests = system.media().totalRequests();
+    result.famAtRequests = system.media().atRequests();
+    return result;
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++count;
+        }
+    }
+    return count == 0 ? 0.0
+                      : std::exp(log_sum / static_cast<double>(count));
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    return {"SPEC", "PARSEC", "GAP"};
+}
+
+std::map<std::string, std::vector<StreamProfile>>
+sensitivityGroups()
+{
+    // Fig. 13-15 report geometric means of the SPEC, PARSEC and GAP
+    // suites plus pf and dc individually (§V-D).
+    std::map<std::string, std::vector<StreamProfile>> groups;
+    for (const auto& p : profiles::all()) {
+        if (p.suite == "SPEC" || p.suite == "PARSEC" || p.suite == "GAP")
+            groups[p.suite].push_back(p);
+        else if (p.name == "pf" || p.name == "dc")
+            groups[p.name].push_back(p);
+    }
+    return groups;
+}
+
+SeriesTable::SeriesTable(std::string title, std::string row_header,
+                         std::vector<std::string> columns)
+    : title_(std::move(title)),
+      rowHeader_(std::move(row_header)),
+      columns_(std::move(columns))
+{
+}
+
+void
+SeriesTable::addRow(const std::string& name,
+                    const std::vector<double>& values)
+{
+    FAMSIM_ASSERT(values.size() == columns_.size(),
+                  "row '", name, "' has ", values.size(),
+                  " values for ", columns_.size(), " columns");
+    rows_.emplace_back(name, values);
+}
+
+void
+SeriesTable::print(std::ostream& os, int precision) const
+{
+    os << "\n== " << title_ << " ==\n";
+    os << std::left << std::setw(12) << rowHeader_;
+    for (const auto& col : columns_)
+        os << std::right << std::setw(12) << col;
+    os << "\n";
+    os << std::string(12 + 12 * columns_.size(), '-') << "\n";
+    for (const auto& [name, values] : rows_) {
+        os << std::left << std::setw(12) << name;
+        for (double v : values) {
+            os << std::right << std::setw(12) << std::fixed
+               << std::setprecision(precision) << v;
+        }
+        os << "\n";
+    }
+    os.flush();
+}
+
+} // namespace famsim

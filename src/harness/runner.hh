@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment harness: runs (benchmark x architecture x parameter)
+ * matrices and formats the paper-style tables/series.
+ */
+
+#ifndef FAMSIM_HARNESS_RUNNER_HH
+#define FAMSIM_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "arch/system.hh"
+
+namespace famsim {
+
+/** Metrics extracted from one run. */
+struct RunResult {
+    std::string benchmark;
+    ArchKind arch = ArchKind::EFam;
+    double ipc = 0.0;
+    double famAtPercent = 0.0;
+    double translationHitRate = 0.0;
+    double acmHitRate = 0.0;
+    double mpki = 0.0;
+    std::uint64_t famRequests = 0;
+    std::uint64_t famAtRequests = 0;
+};
+
+/**
+ * Default configuration for the paper's Table II system with the given
+ * benchmark and architecture. The instruction limit honours the
+ * FAMSIM_INSTR environment variable so benches can be scaled.
+ */
+[[nodiscard]] SystemConfig
+makeConfig(const StreamProfile& profile, ArchKind arch,
+           std::uint64_t instr_limit = 0);
+
+/** Per-run instruction budget (FAMSIM_INSTR env var or @p fallback). */
+[[nodiscard]] std::uint64_t instrBudget(std::uint64_t fallback);
+
+/** Build, run and summarize one configuration. */
+[[nodiscard]] RunResult runOne(const SystemConfig& config);
+
+/** Geometric mean (ignores non-positive values defensively). */
+[[nodiscard]] double geomean(const std::vector<double>& values);
+
+/** The benchmark suites of Table III, for Fig. 13-15 grouping. */
+[[nodiscard]] std::vector<std::string> suiteNames();
+
+/** Profiles grouped per the sensitivity figures (suites + pf + dc). */
+[[nodiscard]] std::map<std::string, std::vector<StreamProfile>>
+sensitivityGroups();
+
+/**
+ * Fixed-width series printer: one row per benchmark, one column per
+ * series, matching the paper's figure layout.
+ */
+class SeriesTable
+{
+  public:
+    SeriesTable(std::string title, std::string row_header,
+                std::vector<std::string> columns);
+
+    void addRow(const std::string& name,
+                const std::vector<double>& values);
+    void print(std::ostream& os, int precision = 2) const;
+
+  private:
+    std::string title_;
+    std::string rowHeader_;
+    std::vector<std::string> columns_;
+    std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_HARNESS_RUNNER_HH

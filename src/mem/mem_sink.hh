@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The MemSink interface: anything that can accept a memory packet.
+ *
+ * Cache levels, memory controllers, the FAM translator path and the
+ * fabric endpoints all implement this, so the node hierarchy can be
+ * composed out of interchangeable stages.
+ */
+
+#ifndef FAMSIM_MEM_MEM_SINK_HH
+#define FAMSIM_MEM_MEM_SINK_HH
+
+#include "mem/packet.hh"
+
+namespace famsim {
+
+/** Consumer of memory packets; completion is via Packet::onDone. */
+class MemSink
+{
+  public:
+    virtual ~MemSink() = default;
+
+    /**
+     * Accept @p pkt for service. The packet's node-physical address
+     * must be valid. Ownership is shared; the sink must eventually
+     * cause pkt->complete() to run exactly once.
+     */
+    virtual void access(const PktPtr& pkt) = 0;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_MEM_MEM_SINK_HH

@@ -1,0 +1,35 @@
+#include "mem/packet.hh"
+
+#include <atomic>
+
+namespace famsim {
+
+const char*
+toString(PacketKind kind)
+{
+    switch (kind) {
+      case PacketKind::Data: return "Data";
+      case PacketKind::NodePtw: return "NodePtw";
+      case PacketKind::FamPtw: return "FamPtw";
+      case PacketKind::Acm: return "Acm";
+      case PacketKind::Bitmap: return "Bitmap";
+      case PacketKind::Broker: return "Broker";
+    }
+    return "?";
+}
+
+PktPtr
+makePacket(NodeId node, CoreId core, MemOp op, PacketKind kind)
+{
+    static std::atomic<std::uint64_t> next_id{1};
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = next_id.fetch_add(1, std::memory_order_relaxed);
+    pkt->node = node;
+    pkt->logicalNode = node;
+    pkt->core = core;
+    pkt->op = op;
+    pkt->kind = kind;
+    return pkt;
+}
+
+} // namespace famsim

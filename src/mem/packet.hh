@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Memory request packets.
+ *
+ * A Packet represents one 64-byte memory access flowing through the
+ * hierarchy. It carries all three address forms it may acquire along
+ * the way (virtual, node-physical, FAM), the request kind used for the
+ * paper's AT / non-AT accounting (Fig. 4, Fig. 11), and the DeACT 'V'
+ * verification flag that tells the STU whether the node's FAM translator
+ * already attached a FAM address (§III-C).
+ */
+
+#ifndef FAMSIM_MEM_PACKET_HH
+#define FAMSIM_MEM_PACKET_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/types.hh"
+
+namespace famsim {
+
+/** Read/write direction of an access. */
+enum class MemOp : std::uint8_t { Read, Write };
+
+/**
+ * What a packet is fetching. Everything except Data counts as an
+ * address-translation (AT) request in the paper's breakdowns.
+ */
+enum class PacketKind : std::uint8_t {
+    Data,     //!< Application data (non-AT).
+    NodePtw,  //!< Node page-table walk step (VA -> NPA).
+    FamPtw,   //!< System-level FAM page-table walk step (NPA -> FAM).
+    Acm,      //!< Access-control-metadata fetch.
+    Bitmap,   //!< Shared-page bitmap fetch.
+    Broker,   //!< Memory-broker bookkeeping traffic (PT/ACM setup writes).
+};
+
+/** @return true if @p kind is address-translation traffic. */
+[[nodiscard]] constexpr bool
+isTranslationKind(PacketKind kind)
+{
+    return kind != PacketKind::Data;
+}
+
+/** @return a short printable name for a packet kind. */
+[[nodiscard]] const char* toString(PacketKind kind);
+
+struct Packet;
+using PktPtr = std::shared_ptr<Packet>;
+
+/** One in-flight memory access. */
+struct Packet {
+    /** Unique id (for tracing and the outstanding-mapping list). */
+    std::uint64_t id = 0;
+    /** Physical node the request originates from. */
+    NodeId node = 0;
+    /** Logical node id used for access-control checks (migration). */
+    NodeId logicalNode = 0;
+    /** Core within the node (for per-core stats). */
+    CoreId core = 0;
+
+    MemOp op = MemOp::Read;
+    PacketKind kind = PacketKind::Data;
+
+    /** Virtual address (valid for core-issued requests). */
+    VAddr vaddr{};
+    /** Node physical address (valid after node-level translation). */
+    NPAddr npa{};
+    /** FAM address (valid once hasFam is set). */
+    FamAddr fam{};
+    /** Whether @c fam holds a meaningful translation. */
+    bool hasFam = false;
+
+    /**
+     * DeACT 'V' flag: set by the FAM translator when the node-side
+     * translation cache supplied the FAM address; the STU then only
+     * verifies access control instead of walking the FAM page table.
+     */
+    bool verified = false;
+
+    /** Set by the STU verification unit when access control passes. */
+    bool accessGranted = false;
+
+    /**
+     * True for dirty-eviction writebacks: lower cache levels update in
+     * place on a hit and forward on a miss, but never allocate or fill.
+     */
+    bool writeback = false;
+
+    /** Tick the packet was created (for latency histograms). */
+    Tick issued = 0;
+
+    /** Completion callback, invoked exactly once when the access ends. */
+    std::function<void(Packet&)> onDone;
+
+    /** @return true if this packet is AT traffic. */
+    [[nodiscard]] bool isTranslation() const
+    {
+        return isTranslationKind(kind);
+    }
+
+    [[nodiscard]] bool isWrite() const { return op == MemOp::Write; }
+
+    /** Invoke and clear the completion callback. */
+    void
+    complete()
+    {
+        if (onDone) {
+            auto cb = std::move(onDone);
+            onDone = nullptr;
+            cb(*this);
+        }
+    }
+};
+
+/** Create a packet with a fresh id. */
+PktPtr makePacket(NodeId node, CoreId core, MemOp op, PacketKind kind);
+
+} // namespace famsim
+
+#endif // FAMSIM_MEM_PACKET_HH

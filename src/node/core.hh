@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Trace-driven core model (Table II: 4 out-of-order cores, 2 GHz,
+ * 2-issue, 32 outstanding memory requests).
+ *
+ * The core consumes a workload stream. Non-memory instructions retire
+ * at the issue width; memory operations are translated through the
+ * per-core two-level TLB (walking the node page table on a miss, with
+ * OS page-fault handling on unmapped pages) and then issued into the
+ * cache hierarchy. The core models memory-level parallelism with a
+ * bounded outstanding-request window and a configurable fraction of
+ * blocking (dependence-chain) loads.
+ *
+ * Time is tracked as a local clock that never runs behind the event
+ * queue; the core yields to the queue whenever it must wait (window
+ * full, blocking load, TLB walk) or after a batch of work, keeping
+ * multi-core interleaving fair and deterministic.
+ */
+
+#ifndef FAMSIM_NODE_CORE_HH
+#define FAMSIM_NODE_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cache/cache_level.hh"
+#include "sim/simulation.hh"
+#include "vm/node_os.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+#include "workload/stream_gen.hh"
+
+namespace famsim {
+
+/** Core configuration. */
+struct CoreParams {
+    /** Clock period (500 ps = 2 GHz). */
+    Tick period = 500;
+    /** Instructions issued per cycle. */
+    unsigned issueWidth = 2;
+    /** Maximum outstanding memory requests. */
+    unsigned maxOutstanding = 32;
+    /** Instructions to retire before finishing. */
+    std::uint64_t instructionLimit = 400000;
+    /** Ops processed per activation before yielding to the queue. */
+    unsigned batchSize = 2000;
+};
+
+/** One simulated core. */
+class Core : public Component
+{
+  public:
+    Core(Simulation& sim, const std::string& name, const CoreParams& params,
+         NodeId node, NodeId logical_node, CoreId core_id,
+         WorkloadGen& workload, TwoLevelTlb& tlb, NodePtWalker& walker,
+         MemSink& l1, NodeOs& os);
+
+    /** Begin executing; @p on_finish fires at the instruction limit. */
+    void start(std::function<void()> on_finish);
+
+    /**
+     * Register a callback invoked (once) when retired instructions
+     * reach @p instructions — used to end the warmup window.
+     */
+    void setPhaseCallback(std::uint64_t instructions,
+                          std::function<void()> fn);
+
+    /** Mark the start of the measurement window "now". */
+    void markWindow();
+
+    /** IPC over the measurement window (or the whole run). */
+    [[nodiscard]] double ipc() const;
+
+    [[nodiscard]] std::uint64_t instructionsRetired() const
+    {
+        return instRetired_;
+    }
+
+    /** Local core time (>= sim tick). */
+    [[nodiscard]] Tick localTime() const { return localTime_; }
+
+    /** Update the logical node id (job migration). */
+    void setLogicalNode(NodeId logical) { logicalNode_ = logical; }
+
+  private:
+    enum class WaitState : std::uint8_t {
+        Running,
+        Window,    //!< outstanding window full
+        Blocking,  //!< waiting for a specific (dependence) load
+        Walk,      //!< waiting for TLB fill / fault handling
+        Finished,
+    };
+
+    void resume();
+    /** Translate pendingOp_; @return NPA or nullopt if waiting. */
+    std::optional<NPAddr> translate(const MemOpDesc& op);
+    void onWalkDone(std::uint64_t va_page,
+                    std::optional<HierarchicalPageTable::Leaf> leaf);
+    void issueMemOp(const MemOpDesc& op, NPAddr npa);
+    void onMemComplete(bool was_blocking, Tick done_tick);
+    void scheduleResume();
+    void finish();
+
+    CoreParams params_;
+    NodeId node_;
+    NodeId logicalNode_;
+    CoreId coreId_;
+    WorkloadGen& workload_;
+    TwoLevelTlb& tlb_;
+    NodePtWalker& walker_;
+    MemSink& l1_;
+    NodeOs& os_;
+
+    Tick localTime_ = 0;
+    std::uint64_t instRetired_ = 0;
+    unsigned outstanding_ = 0;
+    WaitState state_ = WaitState::Finished;
+    std::optional<MemOpDesc> pendingOp_;
+    bool resumeScheduled_ = false;
+
+    std::function<void()> onFinish_;
+    std::uint64_t phaseAt_ = 0;
+    std::function<void()> phaseFn_;
+
+    /** Measurement window markers. */
+    std::uint64_t windowStartInst_ = 0;
+    Tick windowStartTime_ = 0;
+
+    Counter& instructions_;
+    Counter& memOps_;
+    Counter& tlbWalks_;
+    Counter& pageFaults_;
+    Counter& windowStalls_;
+    Counter& blockingStalls_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_NODE_CORE_HH

@@ -1,0 +1,41 @@
+#include "node/mem_ctrl.hh"
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+MemController::MemController(Simulation& sim, const std::string& name,
+                             NodeOs& os, BankedMemory& dram,
+                             MemSink& fam_path)
+    : Component(sim, name),
+      os_(os),
+      dram_(dram),
+      famPath_(fam_path),
+      localAccesses_(statCounter("local_accesses",
+                                 "accesses served by local DRAM")),
+      famAccesses_(statCounter("fam_accesses",
+                               "accesses routed to the FAM path"))
+{
+}
+
+void
+MemController::access(const PktPtr& pkt)
+{
+    if (NodeOs::isFamDirect(pkt->npa)) {
+        // E-FAM: the node page table holds real FAM addresses.
+        pkt->fam = NodeOs::famDirectAddr(pkt->npa);
+        pkt->hasFam = true;
+        ++famAccesses_;
+        famPath_.access(pkt);
+        return;
+    }
+    if (os_.isLocal(pkt->npa)) {
+        ++localAccesses_;
+        dram_.access(pkt, pkt->npa.value());
+        return;
+    }
+    ++famAccesses_;
+    famPath_.access(pkt);
+}
+
+} // namespace famsim

@@ -1,0 +1,52 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    FAMSIM_ASSERT(when >= now_, "event scheduled in the past: ", when,
+                  " < ", now_);
+    FAMSIM_ASSERT(cb, "null event callback");
+    queue_.push(Entry{when, seq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delta, Callback cb)
+{
+    schedule(now_ + delta, std::move(cb));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never re-inspect the entry.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.when;
+    ++executed_;
+    entry.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t count = 0;
+    while (!queue_.empty() && queue_.top().when <= limit) {
+        runOne();
+        ++count;
+    }
+    if (now_ < limit && queue_.empty())
+        now_ = now_; // queue drained before the horizon; time stays put
+    return count;
+}
+
+} // namespace famsim

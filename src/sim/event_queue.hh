@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are ordered by (tick, insertion sequence). Ties at the same tick
+ * execute in insertion order, which makes multi-component simulations
+ * fully deterministic for a given seed and configuration — a property the
+ * test suite relies on.
+ */
+
+#ifndef FAMSIM_SIM_EVENT_QUEUE_HH
+#define FAMSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace famsim {
+
+/** Priority queue of callbacks ordered by simulated time. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * Scheduling in the past (before curTick()) is a simulator bug.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delta ticks after the current tick. */
+    void scheduleAfter(Tick delta, Callback cb);
+
+    /** Execute the earliest event. @return false if the queue is empty. */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or the tick would exceed
+     * @p limit. Events exactly at @p limit still run.
+     * @return the number of events executed.
+     */
+    std::uint64_t run(Tick limit = ~Tick{0});
+
+    /** Current simulated time (last executed event's tick). */
+    [[nodiscard]] Tick curTick() const { return now_; }
+
+    /** Number of pending events. */
+    [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+    [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+    /** Total events executed over the queue's lifetime. */
+    [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,59 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace famsim {
+namespace {
+
+int throw_depth = 0;
+int quiet_depth = 0;
+
+} // namespace
+
+ScopedThrowOnError::ScopedThrowOnError() { ++throw_depth; }
+ScopedThrowOnError::~ScopedThrowOnError() { --throw_depth; }
+
+ScopedQuietLogs::ScopedQuietLogs() { ++quiet_depth; }
+ScopedQuietLogs::~ScopedQuietLogs() { --quiet_depth; }
+
+namespace detail {
+
+void
+panicImpl(const char* file, int line, const std::string& message)
+{
+    std::string full = std::string("panic: ") + message + " @ " + file +
+                       ":" + std::to_string(line);
+    if (throw_depth > 0)
+        throw SimError(full);
+    std::cerr << full << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char* file, int line, const std::string& message)
+{
+    std::string full = std::string("fatal: ") + message + " @ " + file +
+                       ":" + std::to_string(line);
+    if (throw_depth > 0)
+        throw SimError(full);
+    std::cerr << full << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string& message)
+{
+    if (quiet_depth == 0)
+        std::cerr << "warn: " << message << std::endl;
+}
+
+void
+informImpl(const std::string& message)
+{
+    if (quiet_depth == 0)
+        std::cout << "info: " << message << std::endl;
+}
+
+} // namespace detail
+} // namespace famsim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal simulator invariant was violated (a famsim bug);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid parameters); exits with code 1.
+ * warn()   — something is modelled approximately; simulation continues.
+ * inform() — status messages, no connotation of incorrect behaviour.
+ *
+ * In unit tests, panic/fatal can be redirected to throw exceptions so
+ * death paths are testable without forking (see ScopedThrowOnError).
+ */
+
+#ifndef FAMSIM_SIM_LOGGING_HH
+#define FAMSIM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace famsim {
+
+/** Thrown instead of aborting when ScopedThrowOnError is active. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream& os, const T& first, const Rest&... rest)
+{
+    os << first;
+    appendAll(os, rest...);
+}
+
+[[noreturn]] void panicImpl(const char* file, int line,
+                            const std::string& message);
+[[noreturn]] void fatalImpl(const char* file, int line,
+                            const std::string& message);
+void warnImpl(const std::string& message);
+void informImpl(const std::string& message);
+
+} // namespace detail
+
+/**
+ * While alive, panic()/fatal() throw SimError instead of terminating.
+ * Intended for tests only; nesting is supported.
+ */
+class ScopedThrowOnError
+{
+  public:
+    ScopedThrowOnError();
+    ~ScopedThrowOnError();
+    ScopedThrowOnError(const ScopedThrowOnError&) = delete;
+    ScopedThrowOnError& operator=(const ScopedThrowOnError&) = delete;
+};
+
+/** Suppress warn()/inform() output while alive (for quiet benches). */
+class ScopedQuietLogs
+{
+  public:
+    ScopedQuietLogs();
+    ~ScopedQuietLogs();
+    ScopedQuietLogs(const ScopedQuietLogs&) = delete;
+    ScopedQuietLogs& operator=(const ScopedQuietLogs&) = delete;
+};
+
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char* file, int line, const Args&... args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    detail::panicImpl(file, line, os.str());
+}
+
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char* file, int line, const Args&... args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    detail::fatalImpl(file, line, os.str());
+}
+
+template <typename... Args>
+void
+warn(const Args&... args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    detail::warnImpl(os.str());
+}
+
+template <typename... Args>
+void
+inform(const Args&... args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    detail::informImpl(os.str());
+}
+
+} // namespace famsim
+
+/** Report an internal simulator bug and abort (or throw under test). */
+#define FAMSIM_PANIC(...) ::famsim::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+/** Report an unrecoverable user/configuration error. */
+#define FAMSIM_FATAL(...) ::famsim::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+/** Panic when @p cond is false. */
+#define FAMSIM_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::famsim::panicAt(__FILE__, __LINE__,                           \
+                              "assertion failed: " #cond " ",               \
+                              ##__VA_ARGS__);                               \
+        }                                                                   \
+    } while (0)
+
+#endif // FAMSIM_SIM_LOGGING_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic PCG32 random number generator.
+ *
+ * A small, fast, seedable generator so that every experiment is exactly
+ * reproducible. Components that need randomness (workload generators,
+ * random replacement) each own an Rng seeded from the simulation seed
+ * plus a stream id, so adding a component never perturbs another
+ * component's stream.
+ */
+
+#ifndef FAMSIM_SIM_RNG_HH
+#define FAMSIM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace famsim {
+
+/** PCG32 (Melissa O'Neill's pcg32_random_r) with stream selection. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Uniform 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+        auto rot = static_cast<std::uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        // Debiased modulo (Lemire-style rejection).
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform 64-bit value in [0, bound). */
+    std::uint64_t
+    below64(std::uint64_t bound)
+    {
+        if (bound <= 0xffffffffULL)
+            return below(static_cast<std::uint32_t>(bound));
+        // Rejection over the top 64-bit range.
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next()) / 4294967296.0;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_SIM_RNG_HH

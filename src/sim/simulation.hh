@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The Simulation object: event queue + statistics + seed, the context
+ * every component is constructed against.
+ */
+
+#ifndef FAMSIM_SIM_SIMULATION_HH
+#define FAMSIM_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace famsim {
+
+/**
+ * Owns the global simulation state. Not copyable; components hold a
+ * reference and must not outlive it.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1) : seed_(seed) {}
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    [[nodiscard]] EventQueue& events() { return events_; }
+    [[nodiscard]] StatRegistry& stats() { return stats_; }
+    [[nodiscard]] const StatRegistry& stats() const { return stats_; }
+
+    [[nodiscard]] Tick curTick() const { return events_.curTick(); }
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+    /** Run the event loop until it drains or @p limit is reached. */
+    std::uint64_t run(Tick limit = ~Tick{0}) { return events_.run(limit); }
+
+  private:
+    std::uint64_t seed_;
+    EventQueue events_;
+    StatRegistry stats_;
+};
+
+/**
+ * Base class for named simulated components.
+ *
+ * Provides the hierarchical name used to register statistics and a
+ * convenience statistics accessor.
+ */
+class Component
+{
+  public:
+    Component(Simulation& sim, std::string name)
+        : sim_(sim), name_(std::move(name))
+    {
+    }
+
+    virtual ~Component() = default;
+
+    Component(const Component&) = delete;
+    Component& operator=(const Component&) = delete;
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] Simulation& sim() { return sim_; }
+
+  protected:
+    /** Register a counter under this component's name prefix. */
+    Counter&
+    statCounter(const std::string& leaf, const std::string& desc)
+    {
+        return sim_.stats().counter(name_ + "." + leaf, desc);
+    }
+
+    /** Register a scalar under this component's name prefix. */
+    Scalar&
+    statScalar(const std::string& leaf, const std::string& desc)
+    {
+        return sim_.stats().scalar(name_ + "." + leaf, desc);
+    }
+
+    /** Register a histogram under this component's name prefix. */
+    Histogram&
+    statHistogram(const std::string& leaf, const std::string& desc,
+                  std::uint64_t bucket_width = 1, std::size_t buckets = 16)
+    {
+        return sim_.stats().histogram(name_ + "." + leaf, desc,
+                                      bucket_width, buckets);
+    }
+
+    Simulation& sim_;
+
+  private:
+    std::string name_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_SIM_SIMULATION_HH

@@ -1,0 +1,171 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t buckets)
+    : bucketWidth_(bucket_width), counts_(buckets, 0)
+{
+    FAMSIM_ASSERT(bucket_width > 0, "histogram bucket width must be > 0");
+    FAMSIM_ASSERT(buckets > 0, "histogram must have at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    std::size_t idx = value / bucketWidth_;
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1; // saturate into the last bucket
+    ++counts_[idx];
+    ++samples_;
+    sum_ += value;
+    if (value > max_)
+        max_ = value;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    samples_ = 0;
+    sum_ = 0;
+    max_ = 0;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0
+                         : static_cast<double>(sum_) /
+                               static_cast<double>(samples_);
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    FAMSIM_ASSERT(i < counts_.size(), "histogram bucket out of range");
+    return counts_[i];
+}
+
+Counter&
+StatRegistry::counter(const std::string& name, const std::string& desc)
+{
+    auto& entry = entries_[name];
+    if (!entry.counter) {
+        FAMSIM_ASSERT(!entry.scalar && !entry.histogram,
+                      "stat '", name, "' re-registered with another type");
+        entry.desc = desc;
+        entry.counter = std::make_unique<Counter>();
+    }
+    return *entry.counter;
+}
+
+Scalar&
+StatRegistry::scalar(const std::string& name, const std::string& desc)
+{
+    auto& entry = entries_[name];
+    if (!entry.scalar) {
+        FAMSIM_ASSERT(!entry.counter && !entry.histogram,
+                      "stat '", name, "' re-registered with another type");
+        entry.desc = desc;
+        entry.scalar = std::make_unique<Scalar>();
+    }
+    return *entry.scalar;
+}
+
+Histogram&
+StatRegistry::histogram(const std::string& name, const std::string& desc,
+                        std::uint64_t bucket_width, std::size_t buckets)
+{
+    auto& entry = entries_[name];
+    if (!entry.histogram) {
+        FAMSIM_ASSERT(!entry.counter && !entry.scalar,
+                      "stat '", name, "' re-registered with another type");
+        entry.desc = desc;
+        entry.histogram = std::make_unique<Histogram>(bucket_width, buckets);
+    }
+    return *entry.histogram;
+}
+
+double
+StatRegistry::get(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        FAMSIM_PANIC("unknown stat '", name, "'");
+    if (it->second.counter)
+        return static_cast<double>(it->second.counter->value());
+    if (it->second.scalar)
+        return it->second.scalar->value();
+    FAMSIM_PANIC("stat '", name, "' has no scalar value");
+}
+
+bool
+StatRegistry::has(const std::string& name) const
+{
+    return entries_.find(name) != entries_.end();
+}
+
+double
+StatRegistry::sumMatching(const std::string& suffix) const
+{
+    double sum = 0.0;
+    for (const auto& [name, entry] : entries_) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            if (entry.counter)
+                sum += static_cast<double>(entry.counter->value());
+            else if (entry.scalar)
+                sum += entry.scalar->value();
+        }
+    }
+    return sum;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto& [name, entry] : entries_) {
+        if (entry.counter)
+            entry.counter->reset();
+        if (entry.scalar)
+            entry.scalar->reset();
+        if (entry.histogram)
+            entry.histogram->reset();
+    }
+}
+
+void
+StatRegistry::dump(std::ostream& os) const
+{
+    for (const auto& [name, entry] : entries_) {
+        os << std::left << std::setw(52) << name << " ";
+        if (entry.counter) {
+            os << std::setw(16) << entry.counter->value();
+        } else if (entry.scalar) {
+            os << std::setw(16) << entry.scalar->value();
+        } else if (entry.histogram) {
+            os << "samples=" << entry.histogram->samples()
+               << " mean=" << entry.histogram->mean()
+               << " max=" << entry.histogram->max();
+        }
+        os << " # " << entry.desc << "\n";
+    }
+}
+
+void
+StatRegistry::dumpCsv(std::ostream& os) const
+{
+    for (const auto& [name, entry] : entries_) {
+        if (entry.counter)
+            os << name << "," << entry.counter->value() << "\n";
+        else if (entry.scalar)
+            os << name << "," << entry.scalar->value() << "\n";
+    }
+}
+
+} // namespace famsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Statistics collection: counters, scalars, histograms and a registry.
+ *
+ * Every component registers named statistics with the simulation's
+ * StatRegistry. Names are hierarchical ("node0.core1.l1d.hits"). The
+ * registry supports a reset (used to discard warmup), text and CSV
+ * dumps, and programmatic queries used by the experiment harness.
+ */
+
+#ifndef FAMSIM_SIM_STATS_HH
+#define FAMSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace famsim {
+
+/** A monotonically increasing event count, resettable for warmup. */
+class Counter
+{
+  public:
+    Counter& operator++() { ++value_; return *this; }
+    Counter& operator+=(std::uint64_t delta) { value_ += delta; return *this; }
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A floating-point scalar statistic (set, not accumulated). */
+class Scalar
+{
+  public:
+    Scalar& operator=(double v) { value_ = v; return *this; }
+    [[nodiscard]] double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A fixed-bucket histogram with mean/max tracking. */
+class Histogram
+{
+  public:
+    /** @param bucket_width width of each bucket; @param buckets count. */
+    explicit Histogram(std::uint64_t bucket_width = 1,
+                       std::size_t buckets = 16);
+
+    void sample(std::uint64_t value);
+    void reset();
+
+    [[nodiscard]] std::uint64_t samples() const { return samples_; }
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] std::uint64_t max() const { return max_; }
+    [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+    [[nodiscard]] std::size_t numBuckets() const { return counts_.size(); }
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Owning registry of named statistics.
+ *
+ * Returned references remain valid for the registry's lifetime
+ * (statistics are never removed).
+ */
+class StatRegistry
+{
+  public:
+    /** Create (or fetch) a counter. Re-registering returns the original. */
+    Counter& counter(const std::string& name, const std::string& desc);
+    /** Create (or fetch) a scalar. */
+    Scalar& scalar(const std::string& name, const std::string& desc);
+    /** Create (or fetch) a histogram. */
+    Histogram& histogram(const std::string& name, const std::string& desc,
+                         std::uint64_t bucket_width = 1,
+                         std::size_t buckets = 16);
+
+    /** Value lookup by full name; counters and scalars only. */
+    [[nodiscard]] double get(const std::string& name) const;
+    /** Whether a statistic with this exact name exists. */
+    [[nodiscard]] bool has(const std::string& name) const;
+    /** Sum of all counters whose name ends with @p suffix. */
+    [[nodiscard]] double sumMatching(const std::string& suffix) const;
+
+    /** Reset every statistic (used to discard warmup). */
+    void resetAll();
+
+    /** Human-readable dump, sorted by name. */
+    void dump(std::ostream& os) const;
+    /** Machine-readable "name,value" CSV dump. */
+    void dumpCsv(std::ostream& os) const;
+
+  private:
+    struct Entry {
+        std::string desc;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Scalar> scalar;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_SIM_STATS_HH

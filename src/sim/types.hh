@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fundamental simulator types: ticks, cycles, typed addresses and IDs.
+ *
+ * The simulator measures time in integer picoseconds so that a 2 GHz core
+ * (500 ps period) and sub-nanosecond link serialization can both be
+ * represented exactly. Addresses are strongly typed by address space so
+ * that node-physical addresses can never be handed to the FAM media (or
+ * vice versa) without an explicit, auditable conversion.
+ */
+
+#ifndef FAMSIM_SIM_TYPES_HH
+#define FAMSIM_SIM_TYPES_HH
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace famsim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Core clock cycles (frequency-dependent; see Core::period()). */
+using Cycle = std::uint64_t;
+
+/** One picosecond. */
+inline constexpr Tick kPicosecond = 1;
+/** One nanosecond in ticks. */
+inline constexpr Tick kNanosecond = 1000;
+/** One microsecond in ticks. */
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+/** One millisecond in ticks. */
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+
+/** Identifier of a compute node. 14 usable bits per the DeACT ACM format. */
+using NodeId = std::uint16_t;
+
+/** Identifier of a core within a node. */
+using CoreId = std::uint16_t;
+
+/** Address spaces a memory address can live in. */
+enum class Space : std::uint8_t {
+    Virt,      //!< Application virtual address (per-process).
+    NodePhys,  //!< Node physical address (imaginary flat space per node).
+    Fam,       //!< Fabric-attached-memory (global/system) physical address.
+};
+
+/**
+ * A 64-bit address tagged with its address space.
+ *
+ * The tag is purely a compile-time property; the object is a single
+ * uint64_t at runtime. Conversions between spaces must go through the
+ * translation machinery (TLB, STU, FamTranslator), never through casts.
+ */
+template <Space S>
+class TypedAddr
+{
+  public:
+    static constexpr Space space = S;
+
+    constexpr TypedAddr() = default;
+    constexpr explicit TypedAddr(std::uint64_t value) : value_(value) {}
+
+    /** Raw 64-bit value. */
+    [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+
+    /** Page number assuming @p page_bits bits of page offset. */
+    [[nodiscard]] constexpr std::uint64_t
+    pageNumber(unsigned page_bits = 12) const
+    {
+        return value_ >> page_bits;
+    }
+
+    /** Offset within the page. */
+    [[nodiscard]] constexpr std::uint64_t
+    pageOffset(unsigned page_bits = 12) const
+    {
+        return value_ & ((std::uint64_t{1} << page_bits) - 1);
+    }
+
+    /** Address rounded down to an @p align boundary (power of two). */
+    [[nodiscard]] constexpr TypedAddr
+    alignDown(std::uint64_t align) const
+    {
+        return TypedAddr(value_ & ~(align - 1));
+    }
+
+    /** Address of the 64-byte block containing this address. */
+    [[nodiscard]] constexpr TypedAddr blockAddr() const
+    {
+        return alignDown(64);
+    }
+
+    constexpr TypedAddr operator+(std::uint64_t delta) const
+    {
+        return TypedAddr(value_ + delta);
+    }
+
+    constexpr auto operator<=>(const TypedAddr&) const = default;
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Application virtual address. */
+using VAddr = TypedAddr<Space::Virt>;
+/** Node physical address (what the node OS manages). */
+using NPAddr = TypedAddr<Space::NodePhys>;
+/** FAM (system/global) physical address. */
+using FamAddr = TypedAddr<Space::Fam>;
+
+template <Space S>
+inline std::ostream&
+operator<<(std::ostream& os, const TypedAddr<S>& a)
+{
+    static constexpr const char* names[] = {"V", "NP", "FAM"};
+    return os << names[static_cast<int>(S)] << ":0x" << std::hex
+              << a.value() << std::dec;
+}
+
+/** Size of a base (small) page in bytes. */
+inline constexpr std::uint64_t kPageSize = 4096;
+/** log2(kPageSize). */
+inline constexpr unsigned kPageBits = 12;
+/** Size of a shared large page / bitmap region (1 GB). */
+inline constexpr std::uint64_t kLargePageSize = std::uint64_t{1} << 30;
+/** Cache block size in bytes (also the memory access granularity). */
+inline constexpr std::uint64_t kBlockSize = 64;
+
+} // namespace famsim
+
+namespace std {
+
+template <famsim::Space S>
+struct hash<famsim::TypedAddr<S>> {
+    size_t
+    operator()(const famsim::TypedAddr<S>& a) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(a.value());
+    }
+};
+
+} // namespace std
+
+#endif // FAMSIM_SIM_TYPES_HH

@@ -1,0 +1,460 @@
+#include "stu/stu.hh"
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+Stu::Stu(Simulation& sim, const std::string& name, const StuParams& params,
+         NodeId node, FamLayout& layout, AcmStore& acm,
+         MemoryBroker& broker, FabricLink& fabric, FamMedia& media)
+    : Component(sim, name),
+      params_(params),
+      node_(node),
+      layout_(layout),
+      acm_(acm),
+      broker_(broker),
+      fabric_(fabric),
+      media_(media),
+      bitmapCache_(params.bitmapCacheEntries, params.bitmapCacheEntries,
+                   ReplPolicy::Lru, sim.seed()),
+      famPtwCache_(sim, name + ".famptwcache", params.ptwCacheEntries),
+      tlbLookups_(statCounter("translation_lookups",
+                              "STU translation lookups (I-FAM)")),
+      tlbHits_(statCounter("translation_hits",
+                           "STU translation hits (I-FAM)")),
+      acmLookups_(statCounter("acm_lookups", "ACM cache lookups")),
+      acmHits_(statCounter("acm_hits", "ACM cache hits")),
+      walks_(statCounter("walks", "FAM page-table walks started")),
+      walkSteps_(statCounter("walk_steps",
+                             "FAM page-table walk memory accesses")),
+      acmFetches_(statCounter("acm_fetches", "ACM blocks fetched from FAM")),
+      bitmapFetches_(statCounter("bitmap_fetches",
+                                 "bitmap blocks fetched from FAM")),
+      brokerFaults_(statCounter("broker_faults",
+                                "system-level faults sent to the broker")),
+      verifications_(statCounter("verifications",
+                                 "access-control checks performed")),
+      denials_(statCounter("denials", "accesses denied")),
+      forwarded_(statCounter("forwarded", "requests forwarded to FAM"))
+{
+    FAMSIM_ASSERT(params.entries % params.assoc == 0,
+                  "STU entries must divide by associativity");
+    std::size_t sets = params.entries / params.assoc;
+    switch (params.org) {
+      case StuOrg::IFam:
+        ifamCache_ = std::make_unique<SetAssocCache<IFamEntry>>(
+            sets, params.assoc, ReplPolicy::Lru, sim.seed());
+        break;
+      case StuOrg::DeactW:
+        wCache_ = std::make_unique<SetAssocCache<std::uint8_t>>(
+            sets, params.assoc, ReplPolicy::Lru, sim.seed());
+        break;
+      case StuOrg::DeactN:
+        FAMSIM_ASSERT(params.pairsPerWay >= 1 && params.pairsPerWay <= 3,
+                      "DeACT-N supports 1..3 (tag, ACM) pairs per way");
+        nCache_ = std::make_unique<SetAssocCache<std::uint8_t>>(
+            sets, params.assoc * params.pairsPerWay, ReplPolicy::Lru,
+            sim.seed());
+        break;
+    }
+}
+
+void
+Stu::handleFromNode(const PktPtr& pkt)
+{
+    FAMSIM_ASSERT(pkt, "null packet at STU");
+    sim_.events().scheduleAfter(params_.nodeLinkLatency,
+                                [this, pkt] { receive(pkt); });
+}
+
+void
+Stu::receive(const PktPtr& pkt)
+{
+    if (params_.org == StuOrg::IFam) {
+        handleIFam(pkt);
+    } else if (pkt->verified) {
+        handleDeactVerified(pkt);
+    } else {
+        handleDeactUnverified(pkt);
+    }
+}
+
+// ---------------------------------------------------------------------
+// I-FAM: combined translation + access control at the STU.
+// ---------------------------------------------------------------------
+
+void
+Stu::handleIFam(const PktPtr& pkt)
+{
+    sim_.events().scheduleAfter(params_.lookupLatency, [this, pkt] {
+        std::uint64_t npa_page = pkt->npa.pageNumber();
+        ++tlbLookups_;
+        ++acmLookups_; // ACM rides in the same entry (Fig. 8a)
+        if (IFamEntry* entry = ifamCache_->lookup(npa_page)) {
+            ++tlbHits_;
+            ++acmHits_;
+            pkt->fam = FamAddr(entry->famPage * kPageSize +
+                               pkt->npa.pageOffset());
+            pkt->hasFam = true;
+            verifyAndForward(pkt);
+            return;
+        }
+        // Merge concurrent walks to the same page.
+        auto [it, first] = walkMshrs_.try_emplace(npa_page);
+        it->second.push_back(pkt);
+        if (!first)
+            return;
+        startWalk(pkt, [this, pkt, npa_page](std::uint64_t fam_page) {
+            // The walked PTE supplies the translation; the 16-bit ACM
+            // is fetched from the metadata region and cached in the
+            // same entry (Fig. 8a: way = tag + famp + ac).
+            ++acmFetches_;
+            sendFamAccess(pkt, layout_.acmBlockForPage(fam_page),
+                          MemOp::Read, PacketKind::Acm,
+                          [this, npa_page, fam_page] {
+                ifamCache_->insert(npa_page, IFamEntry{fam_page});
+                auto mit = walkMshrs_.find(npa_page);
+                FAMSIM_ASSERT(mit != walkMshrs_.end(), "lost walk MSHR");
+                std::vector<PktPtr> waiters = std::move(mit->second);
+                walkMshrs_.erase(mit);
+                for (auto& w : waiters) {
+                    w->fam = FamAddr(fam_page * kPageSize +
+                                     w->npa.pageOffset());
+                    w->hasFam = true;
+                    verifyAndForward(w);
+                }
+            });
+        });
+    });
+}
+
+// ---------------------------------------------------------------------
+// DeACT: decoupled paths.
+// ---------------------------------------------------------------------
+
+void
+Stu::handleDeactVerified(const PktPtr& pkt)
+{
+    FAMSIM_ASSERT(pkt->hasFam,
+                  "verified packet without FAM address at STU");
+    sim_.events().scheduleAfter(params_.lookupLatency,
+                                [this, pkt] { checkAccess(pkt); });
+}
+
+void
+Stu::handleDeactUnverified(const PktPtr& pkt)
+{
+    sim_.events().scheduleAfter(params_.lookupLatency, [this, pkt] {
+        std::uint64_t npa_page = pkt->npa.pageNumber();
+        auto [it, first] = walkMshrs_.try_emplace(npa_page);
+        it->second.push_back(pkt);
+        if (!first)
+            return;
+        startWalk(pkt, [this, npa_page](std::uint64_t fam_page) {
+            // Return the mapping to the node's FAM translator so it can
+            // update the in-DRAM translation cache (step 5, Fig. 6).
+            if (mappingListener_)
+                mappingListener_(npa_page, fam_page);
+            auto mit = walkMshrs_.find(npa_page);
+            FAMSIM_ASSERT(mit != walkMshrs_.end(), "lost walk MSHR");
+            std::vector<PktPtr> waiters = std::move(mit->second);
+            walkMshrs_.erase(mit);
+            for (auto& w : waiters) {
+                w->fam = FamAddr(fam_page * kPageSize +
+                                 w->npa.pageOffset());
+                w->hasFam = true;
+                w->verified = true;
+                checkAccess(w);
+            }
+        });
+    });
+}
+
+void
+Stu::checkAccess(const PktPtr& pkt)
+{
+    std::uint64_t fam_page = pkt->fam.pageNumber();
+    ++acmLookups_;
+    if (acmLookup(fam_page)) {
+        ++acmHits_;
+        verifyAndForward(pkt);
+        return;
+    }
+    // Fetch the 64 B ACM block covering this page from FAM.
+    ++acmFetches_;
+    sendFamAccess(pkt, layout_.acmBlockForPage(fam_page), MemOp::Read,
+                  PacketKind::Acm, [this, pkt, fam_page] {
+                      acmInstall(fam_page);
+                      verifyAndForward(pkt);
+                  });
+}
+
+bool
+Stu::acmLookup(std::uint64_t fam_page)
+{
+    switch (params_.org) {
+      case StuOrg::DeactW:
+        return wCache_->lookup(fam_page / params_.wayGroupPages()) !=
+               nullptr;
+      case StuOrg::DeactN:
+        return nCache_->lookup(fam_page) != nullptr;
+      case StuOrg::IFam:
+      default:
+        FAMSIM_PANIC("acmLookup in I-FAM organization");
+    }
+}
+
+void
+Stu::acmInstall(std::uint64_t fam_page)
+{
+    switch (params_.org) {
+      case StuOrg::DeactW:
+        // One way holds the ACM of wayGroupPages() *contiguous* pages.
+        wCache_->insert(fam_page / params_.wayGroupPages(), 1);
+        break;
+      case StuOrg::DeactN:
+        // Sub-way pairs hold individual pages.
+        nCache_->insert(fam_page, 1);
+        break;
+      case StuOrg::IFam:
+      default:
+        FAMSIM_PANIC("acmInstall in I-FAM organization");
+    }
+}
+
+// ---------------------------------------------------------------------
+// FAM page-table walk (performed by the STU in all organizations).
+// ---------------------------------------------------------------------
+
+void
+Stu::startWalk(const PktPtr& pkt, WalkDone done)
+{
+    ++walks_;
+    std::uint64_t npa_page = pkt->npa.pageNumber();
+    auto result = broker_.famTableOf(pkt->node).walk(npa_page);
+    int deepest = famPtwCache_.deepestCachedLevel(npa_page);
+    std::size_t start = static_cast<std::size_t>(deepest + 1);
+    if (start >= result.steps.size()) {
+        // PTW cache covered every level that exists; if the leaf level
+        // itself was reachable, the walk still reads the PTE.
+        start = result.steps.empty() ? 0 : result.steps.size() - 1;
+    }
+    walkStep(pkt, npa_page, std::move(result.steps), start,
+             std::move(done));
+}
+
+void
+Stu::walkStep(const PktPtr& pkt, std::uint64_t npa_page,
+              std::vector<HierarchicalPageTable::WalkStep> steps,
+              std::size_t index, WalkDone done)
+{
+    if (index >= steps.size()) {
+        // Record traversed upper levels in the PTW cache.
+        for (const auto& step : steps) {
+            if (step.level < HierarchicalPageTable::kLevels - 1)
+                famPtwCache_.insert(npa_page, step.level);
+        }
+        auto leaf = broker_.famTableOf(pkt->node).lookup(npa_page);
+        finishWalk(pkt, npa_page, leaf, std::move(done));
+        return;
+    }
+    ++walkSteps_;
+    FamAddr addr = FamAddr(steps[index].addr).blockAddr();
+    sendFamAccess(pkt, addr, MemOp::Read, PacketKind::FamPtw,
+                  [this, pkt, npa_page, steps = std::move(steps), index,
+                   done = std::move(done)]() mutable {
+                      walkStep(pkt, npa_page, std::move(steps), index + 1,
+                               std::move(done));
+                  });
+}
+
+void
+Stu::finishWalk(const PktPtr& pkt, std::uint64_t npa_page,
+                std::optional<HierarchicalPageTable::Leaf> leaf,
+                WalkDone done)
+{
+    if (leaf) {
+        done(leaf->valuePage);
+        return;
+    }
+    // Unmapped at system level: ask the broker for a page.
+    ++brokerFaults_;
+    broker_.handleUnmapped(pkt->node, npa_page,
+                           [done = std::move(done)](std::uint64_t fam) {
+                               done(fam);
+                           });
+}
+
+// ---------------------------------------------------------------------
+// Verification unit.
+// ---------------------------------------------------------------------
+
+void
+Stu::verifyAndForward(const PktPtr& pkt)
+{
+    sim_.events().scheduleAfter(params_.verifyLatency, [this, pkt] {
+        ++verifications_;
+        std::uint64_t fam_page = pkt->fam.pageNumber();
+        AcmEntry entry = acm_.get(fam_page);
+        if (entry.owner == acm_.sharedMarker()) {
+            checkBitmap(pkt, entry);
+            return;
+        }
+        bool allowed =
+            entry.owner == pkt->logicalNode &&
+            Perms::decode2b(entry.permBits).allows(pkt->isWrite());
+        finishVerify(pkt, allowed);
+    });
+}
+
+void
+Stu::checkBitmap(const PktPtr& pkt, const AcmEntry&)
+{
+    std::uint64_t fam_page = pkt->fam.pageNumber();
+    std::uint64_t region = FamLayout::regionOf(fam_page);
+    // One 64 B bitmap block covers 512 node bits.
+    std::uint64_t key = region * 128 + pkt->logicalNode / 512;
+
+    auto check = [this, pkt, region] {
+        bool allowed =
+            acm_.regionAllows(region, pkt->logicalNode) &&
+            acm_.regionPerms(region, pkt->logicalNode)
+                .allows(pkt->isWrite());
+        finishVerify(pkt, allowed);
+    };
+
+    if (bitmapCache_.lookup(key)) {
+        check();
+        return;
+    }
+    ++bitmapFetches_;
+    sendFamAccess(pkt, layout_.bitmapAddrFor(region, pkt->logicalNode)
+                          .blockAddr(),
+                  MemOp::Read, PacketKind::Bitmap,
+                  [this, key, check = std::move(check)] {
+                      bitmapCache_.insert(key, 1);
+                      check();
+                  });
+}
+
+void
+Stu::finishVerify(const PktPtr& pkt, bool allowed)
+{
+    if (!allowed) {
+        deny(pkt);
+        return;
+    }
+    pkt->accessGranted = true;
+    forwardToFam(pkt);
+}
+
+// ---------------------------------------------------------------------
+// Forwarding and responses.
+// ---------------------------------------------------------------------
+
+void
+Stu::forwardToFam(const PktPtr& pkt)
+{
+    FAMSIM_ASSERT(pkt->accessGranted,
+                  "unverified packet about to reach FAM usable space");
+    if (params_.org == StuOrg::IFam && !pkt->isWrite() &&
+        params_.maxOutstanding != 0 &&
+        outstanding_ >= params_.maxOutstanding) {
+        // Outstanding-mapping list full (I-FAM keeps it at the STU).
+        stallQueue_.push_back(pkt);
+        return;
+    }
+    ++forwarded_;
+    bool tracked = params_.org == StuOrg::IFam && !pkt->isWrite();
+    if (tracked)
+        ++outstanding_;
+
+    auto orig = std::move(pkt->onDone);
+    pkt->onDone = nullptr;
+    // The wrapper holds the PktPtr so the packet stays alive through
+    // the response's trip back over the fabric. The self-reference is
+    // broken when Packet::complete() moves the callback out.
+    pkt->onDone = [this, pkt, orig = std::move(orig), tracked](Packet&) {
+        fabric_.send(FabricLink::Response, [this, pkt, orig, tracked] {
+            sim_.events().scheduleAfter(
+                params_.nodeLinkLatency, [this, pkt, orig, tracked] {
+                    if (tracked) {
+                        FAMSIM_ASSERT(outstanding_ > 0,
+                                      "outstanding underflow");
+                        --outstanding_;
+                        if (!stallQueue_.empty()) {
+                            PktPtr next = stallQueue_.front();
+                            stallQueue_.erase(stallQueue_.begin());
+                            forwardToFam(next);
+                        }
+                    }
+                    if (orig)
+                        orig(*pkt);
+                });
+        });
+    };
+    fabric_.send(FabricLink::Request,
+                 [this, pkt] { media_.access(pkt); });
+}
+
+void
+Stu::sendFamAccess(const PktPtr& origin, FamAddr addr, MemOp op,
+                   PacketKind kind, std::function<void()> done)
+{
+    PktPtr pkt = makePacket(origin->node, origin->core, op, kind);
+    pkt->logicalNode = origin->logicalNode;
+    pkt->fam = addr;
+    pkt->hasFam = true;
+    pkt->issued = sim_.curTick();
+    pkt->onDone = [this, done = std::move(done)](Packet&) {
+        fabric_.send(FabricLink::Response, [done] { done(); });
+    };
+    fabric_.send(FabricLink::Request,
+                 [this, pkt] { media_.access(pkt); });
+}
+
+void
+Stu::deny(const PktPtr& pkt)
+{
+    ++denials_;
+    pkt->accessGranted = false;
+    respondToNode(pkt);
+}
+
+void
+Stu::respondToNode(const PktPtr& pkt)
+{
+    sim_.events().scheduleAfter(params_.nodeLinkLatency,
+                                [pkt] { pkt->complete(); });
+}
+
+void
+Stu::invalidateNode(NodeId node)
+{
+    if (node != node_)
+        return;
+    if (ifamCache_)
+        ifamCache_->invalidateAll();
+    if (wCache_)
+        wCache_->invalidateAll();
+    if (nCache_)
+        nCache_->invalidateAll();
+    bitmapCache_.invalidateAll();
+    famPtwCache_.invalidateAll();
+}
+
+double
+Stu::translationHitRate() const
+{
+    double total = static_cast<double>(tlbLookups_.value());
+    return total == 0.0 ? 0.0 : tlbHits_.value() / total;
+}
+
+double
+Stu::acmHitRate() const
+{
+    double total = static_cast<double>(acmLookups_.value());
+    return total == 0.0 ? 0.0 : acmHits_.value() / total;
+}
+
+} // namespace famsim

@@ -1,0 +1,142 @@
+#include "vm/node_os.hh"
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+NodeOs::NodeOs(Simulation& sim, const std::string& name,
+               const NodeOsParams& params, FamMode mode, NodeId node,
+               MemoryBroker* broker)
+    : Component(sim, name),
+      params_(params),
+      mode_(mode),
+      node_(node),
+      broker_(broker),
+      faults_(statCounter("faults", "node page faults")),
+      localPages_(statCounter("local_pages",
+                              "pages allocated in the local zone")),
+      famPages_(statCounter("fam_pages",
+                            "pages allocated in the FAM zone")),
+      table_([this] { return allocTablePage() * kPageSize; })
+{
+    FAMSIM_ASSERT(params.reservedLocalBytes < params.localBytes,
+                  "reserved DRAM exceeds local memory");
+    FAMSIM_ASSERT(params.localFraction >= 0.0 &&
+                      params.localFraction <= 1.0,
+                  "local fraction must be in [0,1]");
+    if (mode == FamMode::Exposed)
+        FAMSIM_ASSERT(broker_,
+                      "E-FAM mode requires a broker for FAM allocation");
+
+    if (params_.scatterFamZone) {
+        // Multiplicative stride coprime with the zone size: visits
+        // every page once in a scattered order (fragmented free list).
+        std::uint64_t zone_pages = params_.famZoneBytes / kPageSize;
+        famStride_ = 1000003;
+        auto gcd = [](std::uint64_t a, std::uint64_t b) {
+            while (b) {
+                std::uint64_t t = a % b;
+                a = b;
+                b = t;
+            }
+            return a;
+        };
+        while (gcd(famStride_, zone_pages) != 1)
+            ++famStride_;
+    }
+}
+
+std::uint64_t
+NodeOs::allocValuePage(bool& out_is_fam)
+{
+    std::uint64_t usable_local_pages =
+        (params_.localBytes - params_.reservedLocalBytes) / kPageSize;
+    std::uint64_t fam_zone_pages = params_.famZoneBytes / kPageSize;
+
+    // Deterministic interleave tracking the target local fraction.
+    bool want_local =
+        static_cast<double>(localCount_) <
+        (static_cast<double>(allocCount_) + 1.0) * params_.localFraction;
+    ++allocCount_;
+
+    if (want_local && localCursor_ < usable_local_pages) {
+        ++localCount_;
+        ++localPages_;
+        out_is_fam = false;
+        return localCursor_++;
+    }
+    FAMSIM_ASSERT(famCursor_ < fam_zone_pages,
+                  "FAM zone exhausted on node ", node_);
+    ++famPages_;
+    out_is_fam = true;
+    std::uint64_t zone_index = famCursor_++;
+    if (params_.scatterFamZone)
+        zone_index = (zone_index * famStride_) % fam_zone_pages;
+    std::uint64_t npa_page = params_.localBytes / kPageSize + zone_index;
+    famZonePages_.push_back(npa_page);
+    return npa_page;
+}
+
+std::uint64_t
+NodeOs::allocTablePage()
+{
+    // Page-table pages follow the same zone policy as data pages: most
+    // of them land in the FAM zone, which is what makes node page-table
+    // walks show up as FAM traffic (Fig. 4).
+    bool is_fam = false;
+    std::uint64_t npa_page = allocValuePage(is_fam);
+    if (is_fam && mode_ == FamMode::Exposed) {
+        std::uint64_t fam_page =
+            broker_->allocPage(broker_->logicalIdOf(node_), Perms{});
+        return fam_page | kFamDirectPageBit;
+    }
+    return npa_page;
+}
+
+Tick
+NodeOs::handleFault(std::uint64_t va_page)
+{
+    ++faults_;
+    Tick latency = params_.faultLatency;
+
+    bool is_fam = false;
+    std::uint64_t npa_page = allocValuePage(is_fam);
+
+    if (is_fam && mode_ == FamMode::Exposed) {
+        // Patched OS: fetch a real FAM page from the broker (MPI-style
+        // round trip) and map it directly.
+        std::uint64_t fam_page =
+            broker_->allocPage(broker_->logicalIdOf(node_), Perms{});
+        npa_page = fam_page | kFamDirectPageBit;
+        latency += broker_->params().exposedRttLatency;
+    }
+
+    table_.map(va_page, npa_page, Perms{});
+    return latency;
+}
+
+void
+NodeOs::mapExplicit(std::uint64_t va_page, std::uint64_t npa_page,
+                    Perms perms)
+{
+    table_.map(va_page, npa_page, perms);
+}
+
+std::uint64_t
+NodeOs::allocFamZonePage()
+{
+    bool is_fam = false;
+    std::uint64_t fam_zone_pages = params_.famZoneBytes / kPageSize;
+    FAMSIM_ASSERT(famCursor_ < fam_zone_pages,
+                  "FAM zone exhausted on node ", node_);
+    (void)is_fam;
+    std::uint64_t zone_index = famCursor_++;
+    if (params_.scatterFamZone)
+        zone_index = (zone_index * famStride_) % fam_zone_pages;
+    ++famPages_;
+    std::uint64_t npa_page = params_.localBytes / kPageSize + zone_index;
+    famZonePages_.push_back(npa_page);
+    return npa_page;
+}
+
+} // namespace famsim

@@ -1,0 +1,113 @@
+#include "vm/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+HierarchicalPageTable::HierarchicalPageTable(AllocFn alloc)
+    : alloc_(std::move(alloc))
+{
+    FAMSIM_ASSERT(alloc_, "page table requires an allocator");
+    root_ = std::make_unique<Table>();
+    root_->base = alloc_();
+    ++tablePages_;
+}
+
+HierarchicalPageTable::Table*
+HierarchicalPageTable::descend(std::uint64_t key_page, bool create)
+{
+    Table* table = root_.get();
+    for (unsigned level = 0; level + 1 < kLevels; ++level) {
+        unsigned idx = levelIndex(key_page, level);
+        auto it = table->children.find(idx);
+        if (it == table->children.end()) {
+            if (!create)
+                return nullptr;
+            auto child = std::make_unique<Table>();
+            child->base = alloc_();
+            ++tablePages_;
+            it = table->children.emplace(idx, std::move(child)).first;
+        }
+        table = it->second.get();
+    }
+    return table;
+}
+
+void
+HierarchicalPageTable::map(std::uint64_t key_page, std::uint64_t value_page,
+                           Perms perms)
+{
+    Table* pte_table = descend(key_page, /*create=*/true);
+    unsigned idx = levelIndex(key_page, kLevels - 1);
+    auto [it, inserted] =
+        pte_table->leaves.insert_or_assign(idx, Leaf{value_page, perms});
+    (void)it;
+    if (inserted)
+        ++mappings_;
+}
+
+bool
+HierarchicalPageTable::unmap(std::uint64_t key_page)
+{
+    Table* pte_table = descend(key_page, /*create=*/false);
+    if (!pte_table)
+        return false;
+    unsigned idx = levelIndex(key_page, kLevels - 1);
+    if (pte_table->leaves.erase(idx) == 0)
+        return false;
+    --mappings_;
+    return true;
+}
+
+std::optional<HierarchicalPageTable::Leaf>
+HierarchicalPageTable::lookup(std::uint64_t key_page) const
+{
+    auto* self = const_cast<HierarchicalPageTable*>(this);
+    Table* pte_table = self->descend(key_page, /*create=*/false);
+    if (!pte_table)
+        return std::nullopt;
+    auto it = pte_table->leaves.find(levelIndex(key_page, kLevels - 1));
+    if (it == pte_table->leaves.end())
+        return std::nullopt;
+    return it->second;
+}
+
+HierarchicalPageTable::WalkResult
+HierarchicalPageTable::walk(std::uint64_t key_page) const
+{
+    WalkResult result;
+    const Table* table = root_.get();
+    for (unsigned level = 0; level < kLevels; ++level) {
+        unsigned idx = levelIndex(key_page, level);
+        result.steps.push_back(
+            WalkStep{table->base + idx * kEntryBytes, level});
+        if (level == kLevels - 1) {
+            auto it = table->leaves.find(idx);
+            if (it != table->leaves.end())
+                result.leaf = it->second;
+            break;
+        }
+        auto it = table->children.find(idx);
+        if (it == table->children.end())
+            break; // non-present intermediate entry: walk stops here
+        table = it->second.get();
+    }
+    return result;
+}
+
+std::optional<std::uint64_t>
+HierarchicalPageTable::entryAddr(std::uint64_t key_page,
+                                 unsigned level) const
+{
+    FAMSIM_ASSERT(level < kLevels, "page table level out of range");
+    const Table* table = root_.get();
+    for (unsigned l = 0; l < level; ++l) {
+        auto it = table->children.find(levelIndex(key_page, l));
+        if (it == table->children.end())
+            return std::nullopt;
+        table = it->second.get();
+    }
+    return table->base + levelIndex(key_page, level) * kEntryBytes;
+}
+
+} // namespace famsim

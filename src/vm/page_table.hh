@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Four-level hierarchical page table (x86-64 style: PGD/PUD/PMD/PTE).
+ *
+ * The table is *functionally* stored in host memory but every table page
+ * is allocated at a concrete simulated address (via an allocator
+ * callback), so a walk yields the exact sequence of simulated memory
+ * addresses touched — those become real NodePtw/FamPtw packets and show
+ * up in the FAM AT-request accounting exactly as in the paper.
+ *
+ * The same class implements both tables in the system:
+ *  - the node page table (VA page -> NPA page), table pages in node
+ *    memory (allocated by NodeOs, 20/80 local/FAM zone split);
+ *  - the system-level FAM page table (NPA page -> FAM page), table pages
+ *    in FAM (allocated by the MemoryBroker).
+ */
+
+#ifndef FAMSIM_VM_PAGE_TABLE_HH
+#define FAMSIM_VM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace famsim {
+
+/** Page permissions carried in PTEs and in the FAM ACM. */
+struct Perms {
+    bool r = true;
+    bool w = true;
+    bool x = false;
+
+    /** Encode to the paper's 2-bit permission field (§III-A). */
+    [[nodiscard]] std::uint8_t
+    encode2b() const
+    {
+        if (x) return 3;      // read+write+execute
+        if (w) return 2;      // read+write
+        if (r) return 1;      // read only
+        return 0;             // no access
+    }
+
+    /** Decode from the 2-bit permission field. */
+    static Perms
+    decode2b(std::uint8_t bits)
+    {
+        switch (bits & 3) {
+          case 0: return Perms{false, false, false};
+          case 1: return Perms{true, false, false};
+          case 2: return Perms{true, true, false};
+          default: return Perms{true, true, true};
+        }
+    }
+
+    /** @return true if an access of the given type is permitted. */
+    [[nodiscard]] bool
+    allows(bool is_write, bool is_exec = false) const
+    {
+        if (is_exec)
+            return x;
+        return is_write ? w : r;
+    }
+
+    bool operator==(const Perms&) const = default;
+};
+
+/**
+ * A radix page table with four 9-bit levels over a 36-bit page number
+ * (48-bit addresses, 4 KB pages).
+ */
+class HierarchicalPageTable
+{
+  public:
+    /** Levels are numbered 0 (PGD, root) through 3 (PTE, leaf). */
+    static constexpr unsigned kLevels = 4;
+    /** Index bits per level. */
+    static constexpr unsigned kIndexBits = 9;
+    /** Entries per table page. */
+    static constexpr unsigned kEntries = 1u << kIndexBits;
+    /** Bytes per entry. */
+    static constexpr unsigned kEntryBytes = 8;
+
+    /** Allocator for table pages; returns the page's simulated address. */
+    using AllocFn = std::function<std::uint64_t()>;
+
+    /** Final translation: value page number plus permissions. */
+    struct Leaf {
+        std::uint64_t valuePage = 0;
+        Perms perms{};
+        bool operator==(const Leaf&) const = default;
+    };
+
+    /** One memory access performed during a walk. */
+    struct WalkStep {
+        std::uint64_t addr = 0;  //!< simulated address of the entry read
+        unsigned level = 0;      //!< 0 = PGD .. 3 = PTE
+    };
+
+    /** Outcome of a functional walk. */
+    struct WalkResult {
+        /** Entry addresses touched, in order, until present levels end. */
+        std::vector<WalkStep> steps;
+        /** The translation, if the key is mapped. */
+        std::optional<Leaf> leaf;
+    };
+
+    explicit HierarchicalPageTable(AllocFn alloc);
+
+    /** Map @p key_page -> @p value_page, creating intermediate tables. */
+    void map(std::uint64_t key_page, std::uint64_t value_page, Perms perms);
+
+    /** Remove a mapping. @return true if it existed. */
+    bool unmap(std::uint64_t key_page);
+
+    /** Functional lookup without walk bookkeeping. */
+    [[nodiscard]] std::optional<Leaf> lookup(std::uint64_t key_page) const;
+
+    /** Walk, returning every entry address a hardware walker would read. */
+    [[nodiscard]] WalkResult walk(std::uint64_t key_page) const;
+
+    /**
+     * Simulated address of the level-@p level entry covering
+     * @p key_page, if the intermediate tables exist. Used by walkers
+     * that skip levels via PTW caches.
+     */
+    [[nodiscard]] std::optional<std::uint64_t>
+    entryAddr(std::uint64_t key_page, unsigned level) const;
+
+    /** Simulated base address of the root (PGD) table page. */
+    [[nodiscard]] std::uint64_t rootAddr() const { return root_->base; }
+
+    /** Number of table pages allocated so far. */
+    [[nodiscard]] std::size_t tablePages() const { return tablePages_; }
+
+    /** Number of leaf mappings currently present. */
+    [[nodiscard]] std::size_t mappings() const { return mappings_; }
+
+    /** Index into the level-@p level table for @p key_page. */
+    [[nodiscard]] static unsigned
+    levelIndex(std::uint64_t key_page, unsigned level)
+    {
+        return static_cast<unsigned>(
+            (key_page >> (kIndexBits * (kLevels - 1 - level))) &
+            (kEntries - 1));
+    }
+
+    /**
+     * Prefix identifying the level-@p level entry (all index bits
+     * consumed through that level). Used as PTW-cache keys.
+     */
+    [[nodiscard]] static std::uint64_t
+    levelPrefix(std::uint64_t key_page, unsigned level)
+    {
+        return key_page >> (kIndexBits * (kLevels - 1 - level));
+    }
+
+  private:
+    struct Table {
+        std::uint64_t base = 0;
+        /** Children for levels 0..2. */
+        std::unordered_map<unsigned, std::unique_ptr<Table>> children;
+        /** Leaves for level 3. */
+        std::unordered_map<unsigned, Leaf> leaves;
+    };
+
+    Table* descend(std::uint64_t key_page, bool create);
+
+    AllocFn alloc_;
+    std::unique_ptr<Table> root_;
+    std::size_t tablePages_ = 0;
+    std::size_t mappings_ = 0;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_VM_PAGE_TABLE_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Synthetic workload generation.
+ *
+ * The paper drives its simulations with SPEC 2006, PARSEC, GAP,
+ * Mantevo and NAS binaries (Table III). Those binaries (and the SST
+ * trace infrastructure) are not reproducible here, so we substitute
+ * parameterized address-stream generators: each benchmark becomes a
+ * profile capturing the properties the DeACT mechanisms actually
+ * respond to —
+ *   - memory intensity (ops per instruction) and LLC MPKI (Table III),
+ *   - working-set size (how many distinct pages compete for the
+ *     translation structures),
+ *   - page-level locality (hot-set size/weight: TLB & STU friendliness),
+ *   - spatial locality inside a page (sequential run length: cache-line
+ *     friendliness),
+ *   - pointer-chase fraction (how often the core must block on a load).
+ *
+ * See DESIGN.md §1 for the substitution rationale.
+ */
+
+#ifndef FAMSIM_WORKLOAD_STREAM_GEN_HH
+#define FAMSIM_WORKLOAD_STREAM_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace famsim {
+
+/** One memory operation produced by a generator. */
+struct MemOpDesc {
+    /** Virtual address accessed. */
+    std::uint64_t vaddr = 0;
+    /** True for a store. */
+    bool write = false;
+    /** Non-memory instructions retired before this op. */
+    unsigned gap = 0;
+    /** True if the consuming core must block until completion. */
+    bool blocking = false;
+};
+
+/** Abstract address-stream source. */
+class WorkloadGen
+{
+  public:
+    virtual ~WorkloadGen() = default;
+    /** Produce the next memory operation. */
+    virtual MemOpDesc next() = 0;
+    /** Every VA page the stream can touch (for pre-faulting). */
+    [[nodiscard]] virtual std::vector<std::uint64_t>
+    footprintPages() const = 0;
+};
+
+/** Parameter set describing one benchmark. */
+struct StreamProfile {
+    std::string name;
+    std::string suite;
+    /** Fraction of instructions that are memory operations. */
+    double memOpFraction = 0.3;
+    /** Total data footprint in bytes. */
+    std::uint64_t footprintBytes = 32ull << 20;
+    /**
+     * Two-tier page working set (coarse Zipf): a small very-hot tier
+     * whose reach decides TLB and STU hit rates, a warm tier that
+     * separates the 1024-entry I-FAM STU from the 2048-entry DeACT-N
+     * ACM cache, and a uniform cold tail over the whole footprint.
+     */
+    std::uint64_t hot1Pages = 512;
+    double hot1Prob = 0.6;
+    std::uint64_t hot2Pages = 1536;
+    double hot2Prob = 0.2;
+    /** Mean sequential 64 B-block run length within a page. */
+    double seqRunLen = 4.0;
+    /** Probability a new cold page continues sequentially (streaming). */
+    double seqPageProb = 0.2;
+    /**
+     * VA sparseness: the footprint's pages are scattered over a
+     * virtual span vaScatterFactor times larger than the footprint
+     * (1 = dense heap). Pointer-heavy applications have sparse VA
+     * spaces, which makes the node page table large and uncacheable —
+     * the amplifier behind the paper's nested-translation collapse.
+     */
+    unsigned vaScatterFactor = 1;
+    /**
+     * Probability an access re-uses a recently touched block (register
+     * spill / stack / short-term temporal locality). This is the knob
+     * that calibrates LLC MPKI: misses/kilo-instr is approximately
+     * memOpFraction * (1 - reuseProb) * 1000.
+     */
+    double reuseProb = 0.8;
+    /** Fraction of ops that are writes. */
+    double writeFraction = 0.25;
+    /** Fraction of loads that serialize the core (pointer chasing). */
+    double blockingFraction = 0.3;
+    /** LLC misses per kilo-instruction reported in Table III. */
+    double paperMpki = 0.0;
+    /** Slowdown class: whether the paper saw >15 % I-FAM degradation. */
+    bool atSensitive = true;
+};
+
+/**
+ * The synthetic stream generator.
+ *
+ * Address process: with probability hotAccessProb pick a page from a
+ * small scattered hot set, otherwise a uniform cold page; within the
+ * page continue a sequential block run (geometric length seqRunLen) or
+ * restart at a random block.
+ */
+class StreamGen : public WorkloadGen
+{
+  public:
+    /**
+     * @param profile   benchmark parameters.
+     * @param va_base   base virtual address of the heap.
+     * @param seed      RNG seed (combined with a per-core stream id).
+     * @param stream    per-core stream id.
+     */
+    StreamGen(const StreamProfile& profile, std::uint64_t va_base,
+              std::uint64_t seed, std::uint64_t stream = 0);
+
+    MemOpDesc next() override;
+    [[nodiscard]] std::vector<std::uint64_t>
+    footprintPages() const override;
+
+    [[nodiscard]] const StreamProfile& profile() const { return profile_; }
+
+  private:
+    StreamProfile profile_;
+    std::uint64_t vaBase_;
+    Rng rng_;
+
+    /** Map a logical page index to its (possibly scattered) VA page. */
+    [[nodiscard]] std::uint64_t vaPageOf(std::uint64_t logical) const;
+
+    std::uint64_t numPages_;
+    std::uint64_t vaSpanPages_;
+    std::uint64_t vaStride_ = 1;
+    std::vector<std::uint64_t> hot1Pages_;
+    std::vector<std::uint64_t> hot2Pages_;
+
+    /** Sequential-run state. */
+    std::uint64_t curPage_ = 0;
+    std::uint64_t curBlock_ = 0;
+    bool runActive_ = false;
+
+    /** Ring of recently touched block addresses (for reuseProb). */
+    std::vector<std::uint64_t> recent_;
+    std::size_t recentNext_ = 0;
+};
+
+/** Registry of the paper's benchmark profiles (Table III + lu). */
+namespace profiles {
+
+/** All 14 evaluated benchmarks, in the paper's figure order. */
+[[nodiscard]] std::vector<StreamProfile> all();
+
+/** Look up one profile by short name (mcf, cactus, ... sp). */
+[[nodiscard]] StreamProfile byName(const std::string& name);
+
+/** A uniform random profile for tests. */
+[[nodiscard]] StreamProfile uniformTest(std::uint64_t footprint_bytes);
+
+} // namespace profiles
+
+} // namespace famsim
+
+#endif // FAMSIM_WORKLOAD_STREAM_GEN_HH

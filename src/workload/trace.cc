@@ -1,0 +1,130 @@
+#include "workload/trace.hh"
+
+#include <cstring>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace famsim {
+namespace {
+
+constexpr char kMagic[12] = {'F', 'A', 'M', 'S', 'I', 'M',
+                             'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::uint8_t kFlagWrite = 1;
+constexpr std::uint8_t kFlagBlocking = 2;
+
+struct Record {
+    std::uint64_t vaddr;
+    std::uint32_t gap;
+    std::uint8_t flags;
+};
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path)
+{
+    if (!out_)
+        FAMSIM_FATAL("cannot open trace file '", path, "' for writing");
+    writeHeader();
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::writeHeader()
+{
+    out_.seekp(0);
+    out_.write(kMagic, sizeof(kMagic));
+    out_.write(reinterpret_cast<const char*>(&count_), sizeof(count_));
+}
+
+void
+TraceWriter::append(const MemOpDesc& op)
+{
+    FAMSIM_ASSERT(!closed_, "append to a closed trace");
+    Record rec{op.vaddr, op.gap,
+               static_cast<std::uint8_t>(
+                   (op.write ? kFlagWrite : 0) |
+                   (op.blocking ? kFlagBlocking : 0))};
+    out_.write(reinterpret_cast<const char*>(&rec.vaddr),
+               sizeof(rec.vaddr));
+    out_.write(reinterpret_cast<const char*>(&rec.gap), sizeof(rec.gap));
+    out_.write(reinterpret_cast<const char*>(&rec.flags),
+               sizeof(rec.flags));
+    ++count_;
+}
+
+std::vector<MemOpDesc>
+TraceWriter::record(WorkloadGen& source, std::uint64_t count)
+{
+    std::vector<MemOpDesc> ops;
+    ops.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ops.push_back(source.next());
+        append(ops.back());
+    }
+    return ops;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    writeHeader(); // patch the final record count
+    out_.flush();
+    closed_ = true;
+}
+
+TraceReader::TraceReader(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        FAMSIM_FATAL("cannot open trace file '", path, "'");
+    char magic[sizeof(kMagic)];
+    std::uint64_t count = 0;
+    in.read(magic, sizeof(magic));
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        FAMSIM_FATAL("'", path, "' is not a famsim trace");
+    ops_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Record rec{};
+        in.read(reinterpret_cast<char*>(&rec.vaddr), sizeof(rec.vaddr));
+        in.read(reinterpret_cast<char*>(&rec.gap), sizeof(rec.gap));
+        in.read(reinterpret_cast<char*>(&rec.flags), sizeof(rec.flags));
+        if (!in)
+            FAMSIM_FATAL("trace '", path, "' truncated at record ", i);
+        MemOpDesc op;
+        op.vaddr = rec.vaddr;
+        op.gap = rec.gap;
+        op.write = (rec.flags & kFlagWrite) != 0;
+        op.blocking = (rec.flags & kFlagBlocking) != 0;
+        ops_.push_back(op);
+    }
+    if (ops_.empty())
+        FAMSIM_FATAL("trace '", path, "' contains no records");
+}
+
+MemOpDesc
+TraceReader::next()
+{
+    MemOpDesc op = ops_[index_];
+    index_ = (index_ + 1) % ops_.size();
+    return op;
+}
+
+std::vector<std::uint64_t>
+TraceReader::footprintPages() const
+{
+    std::set<std::uint64_t> pages;
+    for (const auto& op : ops_)
+        pages.insert(op.vaddr / kPageSize);
+    return {pages.begin(), pages.end()};
+}
+
+} // namespace famsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Workload trace record/replay.
+ *
+ * famsim's synthetic generators stand in for the paper's benchmark
+ * binaries; trace support closes the loop for users who *do* have real
+ * address traces (e.g. from Pin, DynamoRIO or gem5): record any
+ * WorkloadGen to a file, or replay a file as a WorkloadGen.
+ *
+ * Format: a fixed 16-byte header ("FAMSIMTRACE1", record count) then
+ * packed little-endian records {u64 vaddr, u32 gap, u8 flags}.
+ */
+
+#ifndef FAMSIM_WORKLOAD_TRACE_HH
+#define FAMSIM_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "workload/stream_gen.hh"
+
+namespace famsim {
+
+/** Writes memory-op records to a trace file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string& path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /** Append one operation. */
+    void append(const MemOpDesc& op);
+
+    /** Record @p count ops from @p source (also returns them). */
+    std::vector<MemOpDesc> record(WorkloadGen& source,
+                                  std::uint64_t count);
+
+    /** Flush and finalize the header. Called by the destructor too. */
+    void close();
+
+    [[nodiscard]] std::uint64_t written() const { return count_; }
+
+  private:
+    void writeHeader();
+
+    std::ofstream out_;
+    std::string path_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/**
+ * Replays a trace file as a WorkloadGen. The trace loops when
+ * exhausted so cores can run arbitrary instruction budgets.
+ */
+class TraceReader : public WorkloadGen
+{
+  public:
+    explicit TraceReader(const std::string& path);
+
+    MemOpDesc next() override;
+    [[nodiscard]] std::vector<std::uint64_t>
+    footprintPages() const override;
+
+    [[nodiscard]] std::uint64_t size() const { return ops_.size(); }
+
+  private:
+    std::vector<MemOpDesc> ops_;
+    std::size_t index_ = 0;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_WORKLOAD_TRACE_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, determinism,
+ * time-limit semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace famsim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueue, TiesRunInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    ScopedThrowOnError guard;
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runOne();
+    EXPECT_THROW(q.schedule(50, [] {}), SimError);
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] { ++count; });
+    q.schedule(20, [&] { ++count; });
+    q.schedule(30, [&] { ++count; });
+    EXPECT_EQ(q.run(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            q.scheduleAfter(10, recurse);
+    };
+    q.schedule(0, recurse);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.curTick(), 40u);
+}
+
+TEST(EventQueue, ExecutedCountsAllEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    q.run();
+    EXPECT_EQ(q.executed(), 10u);
+}
+
+} // namespace
+} // namespace famsim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property tests: system-wide conservation laws and invariants that
+ * must hold for every benchmark profile and architecture (run on
+ * scaled-down configurations for speed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace famsim {
+namespace {
+
+SystemConfig
+scaled(const StreamProfile& base, ArchKind arch)
+{
+    StreamProfile profile = base;
+    profile.footprintBytes = 8 << 20;
+    profile.hot1Pages = std::min<std::uint64_t>(profile.hot1Pages, 256);
+    profile.hot2Pages = std::min<std::uint64_t>(profile.hot2Pages, 512);
+    SystemConfig config = makeConfig(profile, arch, 25000);
+    config.coresPerNode = 2;
+    // Exact conservation checks need an unbroken window: the warmup
+    // stats reset would otherwise split in-flight requests across the
+    // boundary.
+    config.warmupFraction = 0.0;
+    return config;
+}
+
+class ProfileInvariants
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ProfileInvariants, HoldOnDeactN)
+{
+    ScopedQuietLogs quiet;
+    System system(scaled(profiles::byName(GetParam()),
+                         ArchKind::DeactN));
+    system.run();
+    const auto& stats = system.sim().stats();
+
+    // 1. Nothing is denied in legitimate operation.
+    EXPECT_DOUBLE_EQ(stats.get("node0.stu.denials"), 0.0);
+
+    // 2. Conservation: every request the STU forwarded shows up at the
+    //    FAM as either data or node page-table traffic.
+    double forwarded = stats.get("node0.stu.forwarded");
+    double at_fam = stats.get("fam.data_requests") +
+                    stats.get("fam.node_ptw_requests");
+    EXPECT_DOUBLE_EQ(forwarded, at_fam);
+
+    // 3. Hit counters never exceed lookups.
+    EXPECT_LE(stats.get("node0.stu.acm_hits"),
+              stats.get("node0.stu.acm_lookups"));
+    EXPECT_LE(stats.get("node0.translator.hits"),
+              stats.get("node0.translator.lookups"));
+
+    // 4. IPC bounded by total issue width.
+    EXPECT_GT(system.ipc(), 0.0);
+    EXPECT_LE(system.ipc(), 2.0 * 2.0 + 1e-9);
+
+    // 5. Every ACM fetch targets the metadata region (accounted at the
+    //    FAM as AT), never usable space.
+    EXPECT_DOUBLE_EQ(stats.get("node0.stu.acm_fetches"),
+                     stats.get("fam.acm_requests"));
+}
+
+TEST_P(ProfileInvariants, HoldOnIFam)
+{
+    ScopedQuietLogs quiet;
+    System system(scaled(profiles::byName(GetParam()), ArchKind::IFam));
+    system.run();
+    const auto& stats = system.sim().stats();
+
+    EXPECT_DOUBLE_EQ(stats.get("node0.stu.denials"), 0.0);
+    double forwarded = stats.get("node0.stu.forwarded");
+    double at_fam = stats.get("fam.data_requests") +
+                    stats.get("fam.node_ptw_requests");
+    EXPECT_DOUBLE_EQ(forwarded, at_fam);
+
+    // In I-FAM the translation and ACM caches are one structure:
+    // their hit statistics must agree exactly (Fig. 8a).
+    EXPECT_DOUBLE_EQ(stats.get("node0.stu.translation_hits"),
+                     stats.get("node0.stu.acm_hits"));
+
+    // Every verification happened before forwarding.
+    EXPECT_GE(stats.get("node0.stu.verifications"), forwarded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ProfileInvariants,
+    ::testing::Values("mcf", "cactus", "astar", "frqm", "canl", "bc",
+                      "cc", "ccsv", "sssp", "pf", "dc", "lu", "mg",
+                      "sp"),
+    [](const auto& info) { return info.param; });
+
+TEST(CrossArch, FamTrafficOrderingHolds)
+{
+    ScopedQuietLogs quiet;
+    // AT share at the FAM: I-FAM >= DeACT-W >= DeACT-N is the paper's
+    // Fig. 11 ordering; check it on a sensitive profile.
+    double at[3];
+    int i = 0;
+    for (ArchKind arch :
+         {ArchKind::IFam, ArchKind::DeactW, ArchKind::DeactN}) {
+        SystemConfig config =
+            makeConfig(profiles::byName("ccsv"), arch, 60000);
+        config.coresPerNode = 2;
+        System system(config);
+        system.run();
+        at[i++] = system.famAtPercent();
+    }
+    EXPECT_GE(at[0], at[1] - 2.0); // small tolerance
+    EXPECT_GE(at[1], at[2] - 2.0);
+}
+
+TEST(CrossArch, EFamHasNoStuAtAll)
+{
+    ScopedQuietLogs quiet;
+    System system(scaled(profiles::byName("mcf"), ArchKind::EFam));
+    system.run();
+    EXPECT_FALSE(system.sim().stats().has("node0.stu.denials"));
+    EXPECT_EQ(system.node(0).stu, nullptr);
+    EXPECT_EQ(system.node(0).translator, nullptr);
+}
+
+TEST(CrossArch, DeactUsesTranslatorNotStuForTranslation)
+{
+    ScopedQuietLogs quiet;
+    System system(scaled(profiles::byName("mcf"), ArchKind::DeactN));
+    system.run();
+    const auto& stats = system.sim().stats();
+    // The STU performs no I-FAM-style translation lookups in DeACT.
+    EXPECT_DOUBLE_EQ(stats.get("node0.stu.translation_lookups"), 0.0);
+    EXPECT_GT(stats.get("node0.translator.lookups"), 0.0);
+}
+
+TEST(CrossArch, WarmupResetPreservesInvariants)
+{
+    ScopedQuietLogs quiet;
+    SystemConfig config = scaled(profiles::byName("dc"),
+                                 ArchKind::DeactW);
+    config.warmupFraction = 0.5;
+    System system(config);
+    system.run();
+    const auto& stats = system.sim().stats();
+    double forwarded = stats.get("node0.stu.forwarded");
+    double at_fam = stats.get("fam.data_requests") +
+                    stats.get("fam.node_ptw_requests");
+    // The reset happens atomically between events, so conservation
+    // holds within the measurement window too (small slack for
+    // requests in flight across the reset boundary).
+    EXPECT_NEAR(forwarded, at_fam, 70.0);
+}
+
+} // namespace
+} // namespace famsim

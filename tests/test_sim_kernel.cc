@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel beyond the event queue:
+ * statistics, RNG determinism, typed addresses, logging modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace famsim {
+namespace {
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, CounterAccumulatesAndResets)
+{
+    StatRegistry reg;
+    Counter& c = reg.counter("a.b", "test");
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    EXPECT_DOUBLE_EQ(reg.get("a.b"), 6.0);
+    reg.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, ReRegisteringReturnsSameCounter)
+{
+    StatRegistry reg;
+    Counter& a = reg.counter("x", "first");
+    Counter& b = reg.counter("x", "second");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Stats, TypeMismatchPanics)
+{
+    ScopedThrowOnError guard;
+    StatRegistry reg;
+    reg.counter("x", "counter");
+    EXPECT_THROW(reg.scalar("x", "scalar"), SimError);
+}
+
+TEST(Stats, ScalarHoldsValue)
+{
+    StatRegistry reg;
+    Scalar& s = reg.scalar("ipc", "test");
+    s = 1.25;
+    EXPECT_DOUBLE_EQ(reg.get("ipc"), 1.25);
+}
+
+TEST(Stats, UnknownStatPanics)
+{
+    ScopedThrowOnError guard;
+    StatRegistry reg;
+    EXPECT_THROW((void)reg.get("nope"), SimError);
+    EXPECT_FALSE(reg.has("nope"));
+}
+
+TEST(Stats, SumMatchingAddsSuffixes)
+{
+    StatRegistry reg;
+    reg.counter("node0.l3.misses", "") += 3;
+    reg.counter("node1.l3.misses", "") += 4;
+    reg.counter("node0.l3.hits", "") += 100;
+    EXPECT_DOUBLE_EQ(reg.sumMatching(".l3.misses"), 7.0);
+}
+
+TEST(Stats, HistogramMeanMaxAndSaturation)
+{
+    Histogram h(10, 4); // buckets [0,10) [10,20) [20,30) [30,inf)
+    h.sample(5);
+    h.sample(15);
+    h.sample(1000); // saturates into the last bucket
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_NEAR(h.mean(), 340.0, 1e-9);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    StatRegistry reg;
+    reg.counter("alpha", "the alpha stat") += 42;
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+    std::ostringstream csv;
+    reg.dumpCsv(csv);
+    EXPECT_NE(csv.str().find("alpha,42"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123, 1), b(123, 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsAreIndependent)
+{
+    Rng a(123, 1), b(123, 2);
+    bool any_diff = false;
+    for (int i = 0; i < 32; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+        EXPECT_LT(rng.below64(1000003), 1000003u);
+    }
+}
+
+TEST(Rng, UniformCoversRange)
+{
+    Rng rng(9);
+    double min = 1.0, max = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        min = std::min(min, u);
+        max = std::max(max, u);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    EXPECT_LT(min, 0.05);
+    EXPECT_GT(max, 0.95);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+// -------------------------------------------------------------- types
+
+TEST(TypedAddr, PageMathIsCorrect)
+{
+    NPAddr a(0x12345678);
+    EXPECT_EQ(a.pageNumber(), 0x12345678u >> 12);
+    EXPECT_EQ(a.pageOffset(), 0x678u);
+    EXPECT_EQ(a.blockAddr().value(), 0x12345640u);
+    EXPECT_EQ(a.alignDown(kPageSize).value(), 0x12345000u);
+    EXPECT_EQ((a + 8).value(), 0x12345680u);
+}
+
+TEST(TypedAddr, ComparesAndHashes)
+{
+    FamAddr a(100), b(100), c(200);
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(std::hash<FamAddr>{}(a), std::hash<FamAddr>{}(b));
+}
+
+TEST(TypedAddr, StreamsWithSpaceTag)
+{
+    std::ostringstream os;
+    os << VAddr(0x10) << " " << NPAddr(0x20) << " " << FamAddr(0x30);
+    EXPECT_EQ(os.str(), "V:0x10 NP:0x20 FAM:0x30");
+}
+
+// ------------------------------------------------------------- logging
+
+TEST(Logging, PanicThrowsUnderGuard)
+{
+    ScopedThrowOnError guard;
+    EXPECT_THROW(FAMSIM_PANIC("boom ", 42), SimError);
+    EXPECT_THROW(FAMSIM_FATAL("bad config"), SimError);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    ScopedThrowOnError guard;
+    FAMSIM_ASSERT(1 + 1 == 2, "fine");
+    EXPECT_THROW(FAMSIM_ASSERT(false, "nope"), SimError);
+}
+
+// ---------------------------------------------------------- simulation
+
+TEST(Simulation, ComponentsRegisterPrefixedStats)
+{
+    Simulation sim;
+
+    class Widget : public Component
+    {
+      public:
+        Widget(Simulation& sim) : Component(sim, "widget")
+        {
+            statCounter("events", "count") += 3;
+        }
+    } widget(sim);
+
+    EXPECT_DOUBLE_EQ(sim.stats().get("widget.events"), 3.0);
+    EXPECT_EQ(widget.name(), "widget");
+}
+
+TEST(Simulation, RunAdvancesTime)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.events().schedule(5 * kNanosecond, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.curTick(), 5 * kNanosecond);
+}
+
+} // namespace
+} // namespace famsim

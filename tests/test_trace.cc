@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for workload trace record/replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/logging.hh"
+#include "workload/trace.hh"
+
+namespace famsim {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = std::filesystem::temp_directory_path() /
+                ("famsim_trace_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove(path_);
+    }
+
+    std::filesystem::path path_;
+};
+
+TEST_F(TraceTest, RoundTripsRecords)
+{
+    StreamGen gen(profiles::byName("mcf"), 0x1000000, 5, 0);
+    std::vector<MemOpDesc> recorded;
+    {
+        TraceWriter writer(path_.string());
+        recorded = writer.record(gen, 500);
+        EXPECT_EQ(writer.written(), 500u);
+    }
+    TraceReader reader(path_.string());
+    EXPECT_EQ(reader.size(), 500u);
+    for (const auto& expected : recorded) {
+        MemOpDesc got = reader.next();
+        EXPECT_EQ(got.vaddr, expected.vaddr);
+        EXPECT_EQ(got.gap, expected.gap);
+        EXPECT_EQ(got.write, expected.write);
+        EXPECT_EQ(got.blocking, expected.blocking);
+    }
+}
+
+TEST_F(TraceTest, ReplayLoops)
+{
+    {
+        TraceWriter writer(path_.string());
+        MemOpDesc op;
+        op.vaddr = 0x1234;
+        writer.append(op);
+    }
+    TraceReader reader(path_.string());
+    EXPECT_EQ(reader.next().vaddr, 0x1234u);
+    EXPECT_EQ(reader.next().vaddr, 0x1234u); // wrapped
+}
+
+TEST_F(TraceTest, FootprintMatchesSource)
+{
+    StreamGen gen(profiles::uniformTest(1 << 20), 0x4000000, 9, 0);
+    {
+        TraceWriter writer(path_.string());
+        writer.record(gen, 2000);
+    }
+    TraceReader reader(path_.string());
+    auto pages = reader.footprintPages();
+    EXPECT_FALSE(pages.empty());
+    for (std::uint64_t page : pages) {
+        EXPECT_GE(page, 0x4000000u / kPageSize);
+        EXPECT_LT(page, (0x4000000u + (1 << 20)) / kPageSize);
+    }
+}
+
+TEST_F(TraceTest, MissingFileFatals)
+{
+    ScopedThrowOnError guard;
+    EXPECT_THROW(TraceReader("/nonexistent/famsim.trace"), SimError);
+}
+
+TEST_F(TraceTest, CorruptMagicFatals)
+{
+    {
+        std::ofstream out(path_);
+        out << "not a trace file at all, definitely long enough";
+    }
+    ScopedThrowOnError guard;
+    EXPECT_THROW(TraceReader(path_.string()), SimError);
+}
+
+} // namespace
+} // namespace famsim

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators: distribution
+ * properties, determinism, the benchmark profile registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/logging.hh"
+#include "workload/stream_gen.hh"
+
+namespace famsim {
+namespace {
+
+TEST(Profiles, AllFourteenBenchmarksPresent)
+{
+    auto all = profiles::all();
+    ASSERT_EQ(all.size(), 14u);
+    std::set<std::string> names;
+    for (const auto& p : all)
+        names.insert(p.name);
+    for (const char* expected :
+         {"mcf", "cactus", "astar", "frqm", "canl", "bc", "cc", "ccsv",
+          "sssp", "pf", "dc", "lu", "mg", "sp"}) {
+        EXPECT_TRUE(names.count(expected)) << expected;
+    }
+}
+
+TEST(Profiles, ByNameMatchesAndFatalsOnUnknown)
+{
+    EXPECT_EQ(profiles::byName("mcf").suite, "SPEC");
+    EXPECT_EQ(profiles::byName("sssp").suite, "GAP");
+    ScopedThrowOnError guard;
+    EXPECT_THROW(profiles::byName("doom"), SimError);
+}
+
+TEST(Profiles, PaperMpkiMatchesTableIII)
+{
+    // Spot-check against Table III.
+    EXPECT_DOUBLE_EQ(profiles::byName("mcf").paperMpki, 73);
+    EXPECT_DOUBLE_EQ(profiles::byName("bc").paperMpki, 113);
+    EXPECT_DOUBLE_EQ(profiles::byName("sssp").paperMpki, 144);
+    EXPECT_DOUBLE_EQ(profiles::byName("sp").paperMpki, 141);
+}
+
+TEST(Profiles, SensitivityClassesMatchPaper)
+{
+    // Fig. 12: bc, lu, mg and sp are the benchmarks DeACT does not
+    // improve (AT-insensitive).
+    for (const auto& p : profiles::all()) {
+        bool insensitive = p.name == "bc" || p.name == "lu" ||
+                           p.name == "mg" || p.name == "sp";
+        EXPECT_EQ(p.atSensitive, !insensitive) << p.name;
+    }
+}
+
+TEST(StreamGen, DeterministicForSameSeedAndStream)
+{
+    StreamProfile p = profiles::byName("mcf");
+    StreamGen a(p, 0x1000000, 7, 3), b(p, 0x1000000, 7, 3);
+    for (int i = 0; i < 1000; ++i) {
+        MemOpDesc oa = a.next(), ob = b.next();
+        EXPECT_EQ(oa.vaddr, ob.vaddr);
+        EXPECT_EQ(oa.write, ob.write);
+        EXPECT_EQ(oa.gap, ob.gap);
+        EXPECT_EQ(oa.blocking, ob.blocking);
+    }
+}
+
+TEST(StreamGen, StreamsDifferButShareHotPages)
+{
+    StreamProfile p = profiles::byName("mcf");
+    StreamGen a(p, 0x1000000, 7, 0), b(p, 0x1000000, 7, 1);
+    bool any_diff = false;
+    for (int i = 0; i < 100; ++i)
+        any_diff |= a.next().vaddr != b.next().vaddr;
+    EXPECT_TRUE(any_diff);
+    // Same footprint (hot sets are stream-independent by construction).
+    EXPECT_EQ(a.footprintPages(), b.footprintPages());
+}
+
+TEST(StreamGen, AddressesStayInFootprint)
+{
+    StreamProfile p = profiles::byName("canl");
+    StreamGen gen(p, 0x40000000, 3, 0);
+    auto pages = gen.footprintPages();
+    std::set<std::uint64_t> page_set(pages.begin(), pages.end());
+    EXPECT_EQ(page_set.size(), p.footprintBytes / kPageSize);
+    for (int i = 0; i < 20000; ++i) {
+        MemOpDesc op = gen.next();
+        EXPECT_TRUE(page_set.count(op.vaddr / kPageSize))
+            << std::hex << op.vaddr;
+    }
+}
+
+TEST(StreamGen, WriteFractionApproximatelyRespected)
+{
+    StreamProfile p = profiles::uniformTest(1 << 20);
+    p.writeFraction = 0.3;
+    StreamGen gen(p, 0, 11, 0);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += gen.next().write ? 1 : 0;
+    EXPECT_NEAR(writes / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(StreamGen, GapMatchesMemOpFraction)
+{
+    StreamProfile p = profiles::uniformTest(1 << 20);
+    p.memOpFraction = 0.25; // mean gap = (1-p)/p = 3
+    StreamGen gen(p, 0, 13, 0);
+    double total_gap = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total_gap += gen.next().gap;
+    EXPECT_NEAR(total_gap / n, 3.0, 0.15);
+}
+
+TEST(StreamGen, HotTierConcentratesAccesses)
+{
+    StreamProfile p = profiles::uniformTest(64 << 20);
+    p.hot1Pages = 64;
+    p.hot1Prob = 0.9;
+    StreamGen gen(p, 0, 17, 0);
+    std::map<std::uint64_t, int> counts;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().vaddr / kPageSize];
+    // The top-64 pages must hold roughly 90 % of the accesses.
+    std::vector<int> freq;
+    for (auto& [page, c] : counts)
+        freq.push_back(c);
+    std::sort(freq.rbegin(), freq.rend());
+    int top = 0;
+    for (std::size_t i = 0; i < 64 && i < freq.size(); ++i)
+        top += freq[i];
+    EXPECT_GT(top / static_cast<double>(n), 0.8);
+}
+
+TEST(StreamGen, SequentialProfileProducesRuns)
+{
+    StreamProfile p = profiles::uniformTest(8 << 20);
+    p.seqRunLen = 16.0;
+    p.reuseProb = 0.0;
+    StreamGen gen(p, 0, 19, 0);
+    int sequential = 0;
+    const int n = 20000;
+    std::uint64_t prev = 0;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t block = gen.next().vaddr / kBlockSize;
+        if (block == prev + 1)
+            ++sequential;
+        prev = block;
+    }
+    EXPECT_GT(sequential / static_cast<double>(n), 0.7);
+}
+
+TEST(StreamGen, VaScatterSpreadsPages)
+{
+    StreamProfile p = profiles::uniformTest(4 << 20); // 1024 pages
+    p.vaScatterFactor = 64;
+    StreamGen gen(p, 0, 23, 0);
+    auto pages = gen.footprintPages();
+    std::uint64_t min_page = ~0ull, max_page = 0;
+    std::set<std::uint64_t> unique(pages.begin(), pages.end());
+    EXPECT_EQ(unique.size(), pages.size());
+    for (std::uint64_t page : pages) {
+        min_page = std::min(min_page, page);
+        max_page = std::max(max_page, page);
+    }
+    EXPECT_GT(max_page - min_page, 1024u * 8);
+}
+
+TEST(StreamGen, ReuseProbControlsDistinctBlockRate)
+{
+    StreamProfile p = profiles::uniformTest(32 << 20);
+    p.reuseProb = 0.9;
+    StreamGen gen(p, 0, 29, 0);
+    std::set<std::uint64_t> blocks;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        blocks.insert(gen.next().vaddr / kBlockSize);
+    // ~10 % of accesses should touch new blocks.
+    EXPECT_NEAR(blocks.size() / static_cast<double>(n), 0.1, 0.03);
+}
+
+TEST(StreamGen, BlockingOnlyOnReads)
+{
+    StreamProfile p = profiles::uniformTest(1 << 20);
+    p.blockingFraction = 1.0;
+    StreamGen gen(p, 0, 31, 0);
+    for (int i = 0; i < 5000; ++i) {
+        MemOpDesc op = gen.next();
+        if (op.write) {
+            EXPECT_FALSE(op.blocking);
+        }
+    }
+}
+
+} // namespace
+} // namespace famsim
