@@ -24,7 +24,11 @@
  *     --replay <file>      drive core 0 of node 0 from a trace file
  *     --stats              dump every statistic after the run
  *     --csv                dump statistics as CSV
+ *     --json               dump statistics as JSON
  *     --list               list available benchmark profiles
+ *     --scenario <name>    run a registered paper scenario, print JSON
+ *     --list-scenarios     list registered paper scenarios
+ *     --help               print usage and exit 0
  */
 
 #include <cstring>
@@ -32,22 +36,29 @@
 #include <string>
 
 #include "harness/runner.hh"
+#include "harness/scenario.hh"
 #include "workload/trace.hh"
 
 using namespace famsim;
 
 namespace {
 
+void
+printUsage(std::ostream& os, const char* argv0)
+{
+    os << "usage: " << argv0
+       << " [--bench <name>] [--arch efam|ifam|deactw|deactn]\n"
+          "  [--instr n] [--nodes n] [--cores n] [--stu-entries n]\n"
+          "  [--stu-assoc n] [--acm-bits 8|16|32] [--pairs 1..3]\n"
+          "  [--fabric-ns n] [--seed n] [--warmup f]\n"
+          "  [--record file] [--replay file] [--stats] [--csv] [--json]\n"
+          "  [--list] [--scenario name] [--list-scenarios] [--help]\n";
+}
+
 [[noreturn]] void
 usage(const char* argv0)
 {
-    std::cerr << "usage: " << argv0
-              << " [--bench <name>] [--arch efam|ifam|deactw|deactn]\n"
-                 "  [--instr n] [--nodes n] [--cores n] [--stu-entries n]\n"
-                 "  [--stu-assoc n] [--acm-bits 8|16|32] [--pairs 1..3]\n"
-                 "  [--fabric-ns n] [--seed n] [--warmup f]\n"
-                 "  [--record file] [--replay file] [--stats] [--csv]\n"
-                 "  [--list]\n";
+    printUsage(std::cerr, argv0);
     std::exit(2);
 }
 
@@ -75,8 +86,12 @@ main(int argc, char** argv)
     unsigned acm_bits = 16, pairs = 2;
     std::uint64_t fabric_ns = 450, seed = 1;
     double warmup = 0.3;
-    bool dump_stats = false, dump_csv = false;
+    bool dump_stats = false, dump_csv = false, dump_json = false;
+    bool show_help = false, list_profiles = false, list_scenarios = false;
+    std::string scenario_name;
 
+    // Parse every argument before dispatching any action, so a typo
+    // after an action flag is still diagnosed.
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char* flag) -> std::string {
             if (i + 1 >= argc) {
@@ -110,16 +125,45 @@ main(int argc, char** argv)
         else if (arg == "--replay") replay_path = need("--replay");
         else if (arg == "--stats") dump_stats = true;
         else if (arg == "--csv") dump_csv = true;
-        else if (arg == "--list") {
-            for (const auto& p : profiles::all()) {
-                std::cout << p.name << "\t" << p.suite << "\tMPKI "
-                          << p.paperMpki << "\n";
-            }
-            return 0;
-        } else {
+        else if (arg == "--json") dump_json = true;
+        else if (arg == "--help" || arg == "-h") show_help = true;
+        else if (arg == "--scenario")
+            scenario_name = need("--scenario");
+        else if (arg == "--list-scenarios") list_scenarios = true;
+        else if (arg == "--list") list_profiles = true;
+        else {
             std::cerr << "unknown option '" << arg << "'\n";
             usage(argv[0]);
         }
+    }
+
+    if (show_help) {
+        printUsage(std::cout, argv[0]);
+        return 0;
+    }
+    if (list_scenarios) {
+        for (const auto& name : ScenarioRegistry::paper().names()) {
+            const Scenario& s = ScenarioRegistry::paper().byName(name);
+            std::cout << name << "\t" << s.description << "\n";
+        }
+        return 0;
+    }
+    if (list_profiles) {
+        for (const auto& p : profiles::all()) {
+            std::cout << p.name << "\t" << p.suite << "\tMPKI "
+                      << p.paperMpki << "\n";
+        }
+        return 0;
+    }
+    if (!scenario_name.empty()) {
+        const ScenarioRegistry& reg = ScenarioRegistry::paper();
+        if (!reg.has(scenario_name)) {
+            std::cerr << "unknown scenario '" << scenario_name
+                      << "' (try --list-scenarios)\n";
+            return 2;
+        }
+        std::cout << runScenarioJson(reg.byName(scenario_name));
+        return 0;
     }
 
     StreamProfile profile = profiles::byName(bench);
@@ -159,18 +203,24 @@ main(int argc, char** argv)
 
     system.run();
 
-    std::cout << "bench=" << bench << " arch=" << arch_name
-              << " nodes=" << nodes << " cores=" << cores << "\n";
-    std::cout << "ipc                  = " << system.ipc() << "\n";
-    std::cout << "fam_at_percent       = " << system.famAtPercent()
-              << "\n";
-    std::cout << "translation_hit_rate = " << system.translationHitRate()
-              << "\n";
-    std::cout << "acm_hit_rate         = " << system.acmHitRate() << "\n";
-    std::cout << "mpki                 = " << system.mpki() << "\n";
+    // In --json mode stdout carries only the JSON object (pipeable to
+    // jq); the human summary goes to stderr instead.
+    std::ostream& summary = dump_json ? std::cerr : std::cout;
+    summary << "bench=" << bench << " arch=" << arch_name
+            << " nodes=" << nodes << " cores=" << cores << "\n";
+    summary << "ipc                  = " << system.ipc() << "\n";
+    summary << "fam_at_percent       = " << system.famAtPercent() << "\n";
+    summary << "translation_hit_rate = " << system.translationHitRate()
+            << "\n";
+    summary << "acm_hit_rate         = " << system.acmHitRate() << "\n";
+    summary << "mpki                 = " << system.mpki() << "\n";
     if (dump_stats)
         system.sim().stats().dump(std::cout);
     if (dump_csv)
         system.sim().stats().dumpCsv(std::cout);
+    if (dump_json) {
+        system.sim().stats().dumpJson(std::cout);
+        std::cout << "\n";
+    }
     return 0;
 }

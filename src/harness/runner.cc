@@ -38,14 +38,11 @@ makeConfig(const StreamProfile& profile, ArchKind arch,
 }
 
 RunResult
-runOne(const SystemConfig& config)
+summarize(System& system)
 {
-    System system(config);
-    system.run();
-
     RunResult result;
-    result.benchmark = config.profile.name;
-    result.arch = config.arch;
+    result.benchmark = system.config().profile.name;
+    result.arch = system.config().arch;
     result.ipc = system.ipc();
     result.famAtPercent = system.famAtPercent();
     result.translationHitRate = system.translationHitRate();
@@ -54,6 +51,14 @@ runOne(const SystemConfig& config)
     result.famRequests = system.media().totalRequests();
     result.famAtRequests = system.media().atRequests();
     return result;
+}
+
+RunResult
+runOne(const SystemConfig& config)
+{
+    System system(config);
+    system.run();
+    return summarize(system);
 }
 
 double

@@ -42,6 +42,9 @@ makeConfig(const StreamProfile& profile, ArchKind arch,
 /** Per-run instruction budget (FAMSIM_INSTR env var or @p fallback). */
 [[nodiscard]] std::uint64_t instrBudget(std::uint64_t fallback);
 
+/** Extract the headline metrics from a finished System run. */
+[[nodiscard]] RunResult summarize(System& system);
+
 /** Build, run and summarize one configuration. */
 [[nodiscard]] RunResult runOne(const SystemConfig& config);
 

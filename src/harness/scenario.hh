@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Named, seeded, runnable paper scenarios.
+ *
+ * Each headline configuration from the paper's evaluation (ACM hit
+ * rate / Fig. 9, AT hit rate / Fig. 10, end-to-end performance /
+ * Fig. 12) is registered here as a Scenario: a fixed SystemConfig with
+ * an explicit seed and instruction budget, deliberately independent of
+ * the FAMSIM_INSTR environment variable so two runs of the same
+ * scenario are always identical. Scenario results export as
+ * deterministic JSON, which the golden-file regression tests
+ * (tests/test_scenarios.cc) compare byte-for-byte against committed
+ * baselines — giving every scale/speed PR a machine-checkable
+ * behavioural diff.
+ */
+
+#ifndef FAMSIM_HARNESS_SCENARIO_HH
+#define FAMSIM_HARNESS_SCENARIO_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/system.hh"
+
+namespace famsim {
+
+/** One named paper configuration, ready to run. */
+struct Scenario {
+    /** Unique id, e.g. "fig09_acm_hit_rate.mcf.deactn". */
+    std::string name;
+    /** Which paper figure/table this configuration belongs to. */
+    std::string figure;
+    /** One-line human description. */
+    std::string description;
+    /** The headline metric the figure plots (key into the metrics). */
+    std::string headlineMetric;
+    /** Complete, self-contained system configuration. */
+    SystemConfig config;
+};
+
+/** Registry of runnable scenarios, sorted by name. */
+class ScenarioRegistry
+{
+  public:
+    /** An empty registry (for tests that register their own). */
+    ScenarioRegistry() = default;
+
+    /** The built-in registry holding the paper's scenarios. */
+    [[nodiscard]] static const ScenarioRegistry& paper();
+
+    /** Register a scenario; the name must be unused. */
+    void add(Scenario scenario);
+
+    [[nodiscard]] bool has(const std::string& name) const;
+    /** Lookup by name; panics on unknown names. */
+    [[nodiscard]] const Scenario& byName(const std::string& name) const;
+    /** All scenarios belonging to one figure, sorted by name. */
+    [[nodiscard]] std::vector<const Scenario*>
+    byFigure(const std::string& figure) const;
+    /** All registered names, sorted. */
+    [[nodiscard]] std::vector<std::string> names() const;
+    [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+
+  private:
+    std::map<std::string, Scenario> scenarios_;
+};
+
+/**
+ * Build, run and export one scenario as deterministic JSON: scenario
+ * identity, the key configuration knobs, the headline derived metrics
+ * and the full statistics registry. Byte-identical across runs with
+ * the same build.
+ */
+[[nodiscard]] std::string runScenarioJson(const Scenario& scenario);
+
+} // namespace famsim
+
+#endif // FAMSIM_HARNESS_SCENARIO_HH

@@ -1,10 +1,57 @@
 #include "sim/stats.hh"
 
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
+#include <sstream>
 
 #include "sim/logging.hh"
 
 namespace famsim {
+
+namespace json {
+
+void
+writeString(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeNumber(std::ostream& os, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; null is the conventional substitute.
+        os << "null";
+        return;
+    }
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    FAMSIM_ASSERT(ec == std::errc{}, "double-to-JSON conversion failed");
+    os.write(buf, ptr - buf);
+}
+
+} // namespace json
 
 Histogram::Histogram(std::uint64_t bucket_width, std::size_t buckets)
     : bucketWidth_(bucket_width), counts_(buckets, 0)
@@ -166,6 +213,50 @@ StatRegistry::dumpCsv(std::ostream& os) const
         else if (entry.scalar)
             os << name << "," << entry.scalar->value() << "\n";
     }
+}
+
+void
+StatRegistry::dumpJson(std::ostream& os, int indent) const
+{
+    const std::string outer(indent, ' ');
+    const std::string inner(indent + 2, ' ');
+    os << "{";
+    bool first = true;
+    for (const auto& [name, entry] : entries_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n" << inner;
+        json::writeString(os, name);
+        os << ": ";
+        if (entry.counter) {
+            os << entry.counter->value();
+        } else if (entry.scalar) {
+            json::writeNumber(os, entry.scalar->value());
+        } else if (entry.histogram) {
+            const Histogram& h = *entry.histogram;
+            os << "{\"samples\": " << h.samples() << ", \"mean\": ";
+            json::writeNumber(os, h.mean());
+            os << ", \"max\": " << h.max() << ", \"buckets\": [";
+            for (std::size_t i = 0; i < h.numBuckets(); ++i)
+                os << (i ? ", " : "") << h.bucket(i);
+            os << "]}";
+        } else {
+            os << "null";
+        }
+    }
+    if (!first)
+        os << "\n" << outer;
+    os << "}";
+}
+
+std::string
+StatRegistry::jsonString() const
+{
+    std::ostringstream os;
+    dumpJson(os);
+    os << "\n";
+    return os.str();
 }
 
 } // namespace famsim

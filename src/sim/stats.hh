@@ -20,6 +20,20 @@
 
 namespace famsim {
 
+namespace json {
+
+/** Write @p s as a JSON string literal (quotes + escapes). */
+void writeString(std::ostream& os, const std::string& s);
+
+/**
+ * Write @p v as a JSON number using the shortest representation that
+ * round-trips (std::to_chars). Deterministic for a given bit pattern,
+ * which keeps golden-file comparisons byte-exact.
+ */
+void writeNumber(std::ostream& os, double v);
+
+} // namespace json
+
 /** A monotonically increasing event count, resettable for warmup. */
 class Counter
 {
@@ -102,6 +116,15 @@ class StatRegistry
     void dump(std::ostream& os) const;
     /** Machine-readable "name,value" CSV dump. */
     void dumpCsv(std::ostream& os) const;
+    /**
+     * Machine-readable JSON dump, sorted by name. Deterministic:
+     * identical registry contents produce byte-identical output
+     * (doubles use shortest round-trip formatting), so the result can
+     * be compared against golden files.
+     */
+    void dumpJson(std::ostream& os, int indent = 0) const;
+    /** dumpJson() into a string. */
+    [[nodiscard]] std::string jsonString() const;
 
   private:
     struct Entry {

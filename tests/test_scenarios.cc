@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Scenario regression tests: every registered paper scenario must
+ * reproduce its committed golden JSON byte-for-byte, and simulation
+ * must be deterministic under a fixed seed.
+ *
+ * Regenerate goldens after an intentional behaviour change with
+ *   FAMSIM_UPDATE_GOLDEN=1 ctest -R Scenario
+ * and review the diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/scenario.hh"
+#include "sim/logging.hh"
+
+#ifndef FAMSIM_GOLDEN_DIR
+#define FAMSIM_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace famsim {
+namespace {
+
+std::string
+goldenPath(const std::string& scenario_name)
+{
+    return std::string(FAMSIM_GOLDEN_DIR) + "/" + scenario_name + ".json";
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+updateRequested()
+{
+    const char* env = std::getenv("FAMSIM_UPDATE_GOLDEN");
+    return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+class ScenarioGolden : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ScenarioGolden, MatchesGoldenJson)
+{
+    const Scenario& scenario =
+        ScenarioRegistry::paper().byName(GetParam());
+    const std::string actual = runScenarioJson(scenario);
+    const std::string path = goldenPath(scenario.name);
+
+    if (updateRequested()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write golden " << path;
+        out << actual;
+        GTEST_SKIP() << "golden updated: " << path;
+    }
+
+    const std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden " << path
+        << " (regenerate with FAMSIM_UPDATE_GOLDEN=1)";
+    EXPECT_EQ(expected, actual)
+        << "scenario '" << scenario.name
+        << "' diverged from its golden; if intentional, regenerate "
+           "with FAMSIM_UPDATE_GOLDEN=1 and commit the diff";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, ScenarioGolden,
+    testing::ValuesIn(ScenarioRegistry::paper().names()),
+    [](const testing::TestParamInfo<std::string>& info) {
+        std::string id = info.param;
+        for (char& c : id) {
+            if (c == '.' || c == '-')
+                c = '_';
+        }
+        return id;
+    });
+
+// ------------------------------------------------------------ registry
+
+TEST(ScenarioRegistry, PaperCoversHeadlineFigures)
+{
+    const ScenarioRegistry& reg = ScenarioRegistry::paper();
+    EXPECT_GE(reg.byFigure("fig09_acm_hit_rate").size(), 3u);
+    EXPECT_GE(reg.byFigure("fig10_at_hit_rate").size(), 2u);
+    EXPECT_GE(reg.byFigure("fig12_performance").size(), 4u);
+    EXPECT_GE(reg.size(), 9u);
+}
+
+TEST(ScenarioRegistry, LookupAndNamesAgree)
+{
+    const ScenarioRegistry& reg = ScenarioRegistry::paper();
+    for (const std::string& name : reg.names()) {
+        ASSERT_TRUE(reg.has(name));
+        const Scenario& s = reg.byName(name);
+        EXPECT_EQ(s.name, name);
+        EXPECT_FALSE(s.figure.empty());
+        EXPECT_FALSE(s.headlineMetric.empty());
+        // Scenario budgets must not depend on the environment.
+        EXPECT_GT(s.config.core.instructionLimit, 0u);
+    }
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateNames)
+{
+    ScenarioRegistry reg;
+    Scenario s = ScenarioRegistry::paper().byName(
+        ScenarioRegistry::paper().names().front());
+    reg.add(s);
+    ScopedThrowOnError throw_on_error;
+    EXPECT_THROW(reg.add(s), SimError);
+}
+
+// -------------------------------------------------------- determinism
+
+TEST(Determinism, SameSeedSameJson)
+{
+    Scenario scenario =
+        ScenarioRegistry::paper().byName("fig12_performance.mcf.deactn");
+    const std::string first = runScenarioJson(scenario);
+    const std::string second = runScenarioJson(scenario);
+    EXPECT_EQ(first, second)
+        << "two runs with the same seed must export byte-identical "
+           "JSON stats";
+}
+
+TEST(Determinism, DifferentSeedDiverges)
+{
+    Scenario scenario =
+        ScenarioRegistry::paper().byName("fig12_performance.mcf.deactn");
+    const std::string base = runScenarioJson(scenario);
+    scenario.config.seed = 0xD15EA5E;
+    const std::string reseeded = runScenarioJson(scenario);
+    EXPECT_NE(base, reseeded)
+        << "changing the seed should perturb the exported stats";
+}
+
+} // namespace
+} // namespace famsim

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -98,6 +100,57 @@ TEST(Stats, DumpContainsNamesAndValues)
     std::ostringstream csv;
     reg.dumpCsv(csv);
     EXPECT_NE(csv.str().find("alpha,42"), std::string::npos);
+}
+
+TEST(Stats, JsonDumpIsValidAndSorted)
+{
+    StatRegistry reg;
+    reg.counter("zeta.count", "a counter") += 7;
+    reg.scalar("alpha.ipc", "a scalar") = 1.25;
+    reg.histogram("mid.lat", "a histogram", 10, 2).sample(15);
+
+    const std::string json = reg.jsonString();
+    EXPECT_NE(json.find("\"zeta.count\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"alpha.ipc\": 1.25"), std::string::npos);
+    EXPECT_NE(json.find("\"samples\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\": [0, 1]"), std::string::npos);
+    // Map iteration order: alpha before mid before zeta.
+    EXPECT_LT(json.find("alpha.ipc"), json.find("mid.lat"));
+    EXPECT_LT(json.find("mid.lat"), json.find("zeta.count"));
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Stats, JsonEscapesStrings)
+{
+    std::ostringstream os;
+    json::writeString(os, "a\"b\\c\nd");
+    EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Stats, JsonNumbersRoundTripShortest)
+{
+    auto str = [](double v) {
+        std::ostringstream os;
+        json::writeNumber(os, v);
+        return os.str();
+    };
+    EXPECT_EQ(str(0.0), "0");
+    EXPECT_EQ(str(1.25), "1.25");
+    EXPECT_EQ(str(-3.5), "-3.5");
+    // 0.1 is not exactly representable; shortest round-trip is "0.1".
+    EXPECT_EQ(str(0.1), "0.1");
+    // Non-finite values have no JSON spelling; null substitutes.
+    EXPECT_EQ(str(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(str(std::nan("")), "null");
+}
+
+TEST(Stats, EmptyRegistryJsonIsEmptyObject)
+{
+    StatRegistry reg;
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_EQ(os.str(), "{}");
 }
 
 // ------------------------------------------------------------------ rng
