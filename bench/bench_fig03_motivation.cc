@@ -7,31 +7,32 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
 using namespace famsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 300000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(300000);
 
-    SeriesTable table("Fig. 3: slowdown of I-FAM wrt E-FAM", "bench",
-                      {"E-FAM", "I-FAM", "slowdown"});
+    FigureReport report("fig03_motivation",
+                        "Fig. 3: slowdown of I-FAM wrt E-FAM", "bench",
+                        {"E-FAM", "I-FAM", "slowdown"});
     std::vector<double> slowdowns;
     for (const auto& profile : profiles::all()) {
         std::cerr << "fig03: " << profile.name << "...\n";
-        RunResult efam = runOne(makeConfig(profile, ArchKind::EFam,
-                                           instr));
-        RunResult ifam = runOne(makeConfig(profile, ArchKind::IFam,
-                                           instr));
+        RunResult efam = runOne(
+            makeConfig(profile, ArchKind::EFam, options.instructions));
+        RunResult ifam = runOne(
+            makeConfig(profile, ArchKind::IFam, options.instructions));
         double slowdown = ifam.ipc > 0 ? efam.ipc / ifam.ipc : 0.0;
         slowdowns.push_back(slowdown);
-        table.addRow(profile.name, {efam.ipc, ifam.ipc, slowdown});
+        report.addRow(profile.name, {efam.ipc, ifam.ipc, slowdown});
     }
-    table.print(std::cout);
-    std::cout << "geomean slowdown: " << geomean(slowdowns)
-              << "x  (paper: most 1.2x-4x, outliers up to 20.6x)\n";
-    return 0;
+    report.addSummary("geomean_slowdown", geomean(slowdowns));
+    report.addNote("paper: most 1.2x-4x, outliers up to 20.6x");
+    return emitReport(report, options);
 }

@@ -8,30 +8,31 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
 using namespace famsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 300000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(300000);
 
-    SeriesTable table(
+    FigureReport report(
+        "fig04_at_breakdown",
         "Fig. 4: % AT requests at FAM (rest is non-AT data)", "bench",
         {"E-FAM AT%", "I-FAM AT%"});
     for (const auto& profile : profiles::all()) {
         std::cerr << "fig04: " << profile.name << "...\n";
-        RunResult efam = runOne(makeConfig(profile, ArchKind::EFam,
-                                           instr));
-        RunResult ifam = runOne(makeConfig(profile, ArchKind::IFam,
-                                           instr));
-        table.addRow(profile.name,
-                     {efam.famAtPercent, ifam.famAtPercent});
+        RunResult efam = runOne(
+            makeConfig(profile, ArchKind::EFam, options.instructions));
+        RunResult ifam = runOne(
+            makeConfig(profile, ArchKind::IFam, options.instructions));
+        report.addRow(profile.name,
+                      {efam.famAtPercent, ifam.famAtPercent});
     }
-    table.print(std::cout);
-    std::cout << "(paper: E-FAM 1.8-44 %; I-FAM up to 84 %; AT share "
-                 "rises sharply with indirection)\n";
-    return 0;
+    report.addNote("paper: E-FAM 1.8-44 %; I-FAM up to 84 %; AT share "
+                   "rises sharply with indirection");
+    return emitReport(report, options);
 }

@@ -8,30 +8,32 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
 using namespace famsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 300000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(300000);
 
-    SeriesTable table("Fig. 9: ACM hit rate (%)", "bench",
-                      {"I-FAM", "DeACT-W", "DeACT-N"});
+    FigureReport report("fig09_acm_hit_rate",
+                        "Fig. 9: ACM hit rate (%)", "bench",
+                        {"I-FAM", "DeACT-W", "DeACT-N"});
     for (const auto& profile : profiles::all()) {
         std::cerr << "fig09: " << profile.name << "...\n";
         std::vector<double> row;
         for (ArchKind arch :
              {ArchKind::IFam, ArchKind::DeactW, ArchKind::DeactN}) {
-            RunResult r = runOne(makeConfig(profile, arch, instr));
+            RunResult r = runOne(
+                makeConfig(profile, arch, options.instructions));
             row.push_back(100.0 * r.acmHitRate);
         }
-        table.addRow(profile.name, row);
+        report.addRow(profile.name, row);
     }
-    table.print(std::cout);
-    std::cout << "(paper shape: DeACT-N > DeACT-W ~ I-FAM; "
-                 "AT-sensitive benchmarks sit lowest)\n";
-    return 0;
+    report.addNote("paper shape: DeACT-N > DeACT-W ~ I-FAM; "
+                   "AT-sensitive benchmarks sit lowest");
+    return emitReport(report, options);
 }

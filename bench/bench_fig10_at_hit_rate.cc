@@ -8,29 +8,30 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
 using namespace famsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 300000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(300000);
 
-    SeriesTable table("Fig. 10: FAM address-translation hit rate (%)",
-                      "bench", {"I-FAM", "DeACT"});
+    FigureReport report("fig10_at_hit_rate",
+                        "Fig. 10: FAM address-translation hit rate (%)",
+                        "bench", {"I-FAM", "DeACT"});
     for (const auto& profile : profiles::all()) {
         std::cerr << "fig10: " << profile.name << "...\n";
-        RunResult ifam = runOne(makeConfig(profile, ArchKind::IFam,
-                                           instr));
-        RunResult deact = runOne(makeConfig(profile, ArchKind::DeactN,
-                                            instr));
-        table.addRow(profile.name, {100.0 * ifam.translationHitRate,
-                                    100.0 * deact.translationHitRate});
+        RunResult ifam = runOne(
+            makeConfig(profile, ArchKind::IFam, options.instructions));
+        RunResult deact = runOne(
+            makeConfig(profile, ArchKind::DeactN, options.instructions));
+        report.addRow(profile.name, {100.0 * ifam.translationHitRate,
+                                     100.0 * deact.translationHitRate});
     }
-    table.print(std::cout);
-    std::cout << "(paper: DeACT > 90 % everywhere; I-FAM down to "
-                 "46.44 % for canl)\n";
-    return 0;
+    report.addNote("paper: DeACT > 90 % everywhere; I-FAM down to "
+                   "46.44 % for canl");
+    return emitReport(report, options);
 }

@@ -8,18 +8,20 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
 using namespace famsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 300000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(300000);
 
-    SeriesTable table("Fig. 11: % AT requests at FAM", "bench",
-                      {"I-FAM", "DeACT-W", "DeACT-N"});
+    FigureReport report("fig11_at_requests",
+                        "Fig. 11: % AT requests at FAM", "bench",
+                        {"I-FAM", "DeACT-W", "DeACT-N"});
     std::vector<double> means[3];
     for (const auto& profile : profiles::all()) {
         std::cerr << "fig11: " << profile.name << "...\n";
@@ -27,16 +29,16 @@ main()
         int i = 0;
         for (ArchKind arch :
              {ArchKind::IFam, ArchKind::DeactW, ArchKind::DeactN}) {
-            RunResult r = runOne(makeConfig(profile, arch, instr));
+            RunResult r = runOne(
+                makeConfig(profile, arch, options.instructions));
             row.push_back(r.famAtPercent);
             means[i++].push_back(r.famAtPercent);
         }
-        table.addRow(profile.name, row);
+        report.addRow(profile.name, row);
     }
-    table.print(std::cout);
-    std::cout << "averages: I-FAM " << geomean(means[0])
-              << "%  DeACT-W " << geomean(means[1]) << "%  DeACT-N "
-              << geomean(means[2])
-              << "%  (paper: 23.97 / 11.82 / 1.77 %)\n";
-    return 0;
+    report.addSummary("ifam_avg_at_percent", geomean(means[0]));
+    report.addSummary("deactw_avg_at_percent", geomean(means[1]));
+    report.addSummary("deactn_avg_at_percent", geomean(means[2]));
+    report.addNote("paper averages: 23.97 / 11.82 / 1.77 %");
+    return emitReport(report, options);
 }

@@ -8,18 +8,21 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
 using namespace famsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 300000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(300000);
 
-    SeriesTable table("Fig. 12: performance normalized to E-FAM",
-                      "bench", {"E-FAM", "I-FAM", "DeACT-W", "DeACT-N"});
+    FigureReport report("fig12_performance",
+                        "Fig. 12: performance normalized to E-FAM",
+                        "bench",
+                        {"E-FAM", "I-FAM", "DeACT-W", "DeACT-N"});
     std::vector<double> ifam_rel, deactn_rel, deactn_over_ifam;
     double best_speedup = 0.0;
     std::string best_bench;
@@ -30,12 +33,13 @@ main()
         std::vector<double> row;
         for (ArchKind arch : {ArchKind::EFam, ArchKind::IFam,
                               ArchKind::DeactW, ArchKind::DeactN}) {
-            RunResult r = runOne(makeConfig(profile, arch, instr));
+            RunResult r = runOne(
+                makeConfig(profile, arch, options.instructions));
             if (arch == ArchKind::EFam)
                 efam = r.ipc;
             row.push_back(efam > 0 ? r.ipc / efam : 0.0);
         }
-        table.addRow(profile.name, row);
+        report.addRow(profile.name, row);
         ifam_rel.push_back(row[1]);
         deactn_rel.push_back(row[3]);
         if (row[1] > 0) {
@@ -47,14 +51,13 @@ main()
             }
         }
     }
-    table.print(std::cout);
-    std::cout << "I-FAM average perf vs E-FAM   : " << geomean(ifam_rel)
-              << "  (paper: 0.303, i.e. -69.7 %)\n";
-    std::cout << "DeACT-N average perf vs E-FAM : "
-              << geomean(deactn_rel) << "  (paper: 0.647, i.e. -35.3 %)\n";
-    std::cout << "DeACT-N avg speedup over I-FAM: "
-              << geomean(deactn_over_ifam) << "x  (paper: 1.8x)\n";
-    std::cout << "best speedup over I-FAM       : " << best_speedup
-              << "x on " << best_bench << "  (paper: 4.59x on cactus)\n";
-    return 0;
+    report.addSummary("ifam_vs_efam_geomean", geomean(ifam_rel));
+    report.addSummary("deactn_vs_efam_geomean", geomean(deactn_rel));
+    report.addSummary("deactn_over_ifam_geomean",
+                      geomean(deactn_over_ifam));
+    report.addSummary("best_speedup_over_ifam", best_speedup);
+    report.addMeta("best_speedup_bench", best_bench);
+    report.addNote("paper: I-FAM 0.303 of E-FAM, DeACT-N 0.647; avg "
+                   "speedup 1.8x, best 4.59x on cactus");
+    return emitReport(report, options);
 }

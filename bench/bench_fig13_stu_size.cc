@@ -9,7 +9,9 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 
 using namespace famsim;
 
@@ -38,41 +40,55 @@ groupSpeedup(const std::vector<famsim::StreamProfile>& group,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 150000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(150000);
     auto groups = sensitivityGroups();
 
     std::vector<std::string> group_names;
     for (const auto& [name, group] : groups)
         group_names.push_back(name);
 
-    SeriesTable table("Fig. 13: DeACT-N speedup wrt I-FAM vs STU size",
-                      "entries", group_names);
-    for (std::size_t entries : {256u, 512u, 1024u, 2048u, 4096u}) {
+    FigureReport report(
+        "fig13_stu_size",
+        "Fig. 13: DeACT-N speedup wrt I-FAM vs STU size", "entries",
+        group_names);
+    // The axis comes from the sweep registry so the bench curve and
+    // the golden-pinned fig13_stu_entries sweep cover the same points.
+    const Sweep& axis_source =
+        SweepRegistry::paper().byName("fig13_stu_entries");
+    for (const auto& point : axis_source.axis.points) {
+        auto entries = static_cast<std::size_t>(point.value);
         std::cerr << "fig13: STU " << entries << " entries...\n";
         std::vector<double> row;
         for (const auto& [name, group] : groups)
-            row.push_back(groupSpeedup(group, entries, 8, instr));
-        table.addRow(std::to_string(entries), row);
+            row.push_back(groupSpeedup(group, entries, 8,
+                                       options.instructions));
+        report.addRow(std::to_string(entries), row);
     }
-    table.print(std::cout);
-    std::cout << "(paper: speedup shrinks as the STU grows; PARSEC "
-                 "3.45x at 256 -> 1.75x at 4096)\n";
+    report.addNote("paper: speedup shrinks as the STU grows; PARSEC "
+                   "3.45x at 256 -> 1.75x at 4096");
 
-    SeriesTable assoc_table(
+    // The companion associativity study is emitted in table mode and
+    // (as a sibling fig13_stu_assoc.json) in JSON+--out mode; only
+    // plain --json to stdout skips its simulations, since a single
+    // JSON object can't carry a second figure.
+    FigureReport assoc_report(
+        "fig13_stu_assoc",
         "SV-D1: DeACT-N speedup wrt I-FAM vs STU associativity",
         "assoc", group_names);
-    for (std::size_t assoc : {4u, 8u, 32u}) {
-        std::cerr << "fig13: assoc " << assoc << "...\n";
-        std::vector<double> row;
-        for (const auto& [name, group] : groups)
-            row.push_back(groupSpeedup(group, 1024, assoc, instr));
-        assoc_table.addRow(std::to_string(assoc), row);
+    if (!options.json || !options.outPath.empty()) {
+        for (std::size_t assoc : {4u, 8u, 32u}) {
+            std::cerr << "fig13: assoc " << assoc << "...\n";
+            std::vector<double> row;
+            for (const auto& [name, group] : groups)
+                row.push_back(groupSpeedup(group, 1024, assoc,
+                                           options.instructions));
+            assoc_report.addRow(std::to_string(assoc), row);
+        }
+        assoc_report.addNote("paper: improvement decreases and "
+                             "saturates with associativity");
     }
-    assoc_table.print(std::cout);
-    std::cout << "(paper: improvement decreases and saturates with "
-                 "associativity)\n";
-    return 0;
+    return emitReports({&report, &assoc_report}, options);
 }

@@ -9,7 +9,9 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 
 using namespace famsim;
 
@@ -37,51 +39,65 @@ groupSpeedup(const std::vector<famsim::StreamProfile>& group,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 150000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(150000);
     auto groups = sensitivityGroups();
 
     std::vector<std::string> group_names;
     for (const auto& [name, group] : groups)
         group_names.push_back(name);
 
-    SeriesTable table("Fig. 14: speedup wrt I-FAM vs ACM width",
-                      "config", group_names);
-    for (unsigned bits : {8u, 16u, 32u}) {
+    FigureReport report("fig14_acm_size",
+                        "Fig. 14: speedup wrt I-FAM vs ACM width",
+                        "config", group_names);
+    // The axis comes from the sweep registry so the bench curve and
+    // the golden-pinned fig14_acm_size sweep cover the same widths.
+    const Sweep& axis_source =
+        SweepRegistry::paper().byName("fig14_acm_size");
+    for (const auto& point : axis_source.axis.points) {
+        auto bits = static_cast<unsigned>(point.value);
         for (ArchKind arch : {ArchKind::DeactW, ArchKind::DeactN}) {
             std::cerr << "fig14: " << toString(arch) << " " << bits
                       << "-bit ACM...\n";
             std::vector<double> row;
             for (const auto& [name, group] : groups) {
                 row.push_back(groupSpeedup(group, arch, bits,
-                                           /*pairs=*/2, instr));
+                                           /*pairs=*/2,
+                                           options.instructions));
             }
-            table.addRow(std::string(toString(arch)) + "/" +
-                             std::to_string(bits) + "b",
-                         row);
+            report.addRow(std::string(toString(arch)) + "/" +
+                              std::to_string(bits) + "b",
+                          row);
         }
     }
-    table.print(std::cout);
-    std::cout << "(paper: DeACT-W nearly flat across widths — random "
-                 "allocation defeats contiguous ACM caching)\n";
+    report.addNote("paper: DeACT-W nearly flat across widths — random "
+                   "allocation defeats contiguous ACM caching");
 
-    SeriesTable pairs_table(
+    // The companion pairs study is emitted in table mode and (as a
+    // sibling fig14_acm_pairs.json) in JSON+--out mode; only plain
+    // --json to stdout skips its simulations, since a single JSON
+    // object can't carry a second figure.
+    FigureReport pairs_report(
+        "fig14_acm_pairs",
         "SV-D2: DeACT-N speedup wrt I-FAM vs (tag,ACM) pairs per way",
         "pairs", group_names);
-    for (unsigned pairs : {1u, 2u, 3u}) {
-        std::cerr << "fig14: pairs " << pairs << "...\n";
-        std::vector<double> row;
-        for (const auto& [name, group] : groups) {
-            row.push_back(groupSpeedup(group, ArchKind::DeactN,
-                                       /*bits=*/pairs == 2 ? 16u : 8u,
-                                       pairs, instr));
+    if (!options.json || !options.outPath.empty()) {
+        for (unsigned pairs : {1u, 2u, 3u}) {
+            std::cerr << "fig14: pairs " << pairs << "...\n";
+            std::vector<double> row;
+            for (const auto& [name, group] : groups) {
+                row.push_back(
+                    groupSpeedup(group, ArchKind::DeactN,
+                                 /*bits=*/pairs == 2 ? 16u : 8u,
+                                 pairs, options.instructions));
+            }
+            pairs_report.addRow(std::to_string(pairs), row);
         }
-        pairs_table.addRow(std::to_string(pairs), row);
+        pairs_report.addNote("paper: more pairs per way -> more ACM "
+                             "reach -> higher speedup; one pair ~ "
+                             "DeACT-W");
     }
-    pairs_table.print(std::cout);
-    std::cout << "(paper: more pairs per way -> more ACM reach -> "
-                 "higher speedup; one pair ~ DeACT-W)\n";
-    return 0;
+    return emitReports({&report, &pairs_report}, options);
 }

@@ -8,41 +8,50 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 
 using namespace famsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 100000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(100000);
 
-    SeriesTable table("Fig. 16: DeACT-N speedup wrt I-FAM vs #nodes",
-                      "nodes", {"pf", "dc"});
-    for (unsigned nodes : {1u, 2u, 4u, 8u}) {
+    FigureReport report("fig16_num_nodes",
+                        "Fig. 16: DeACT-N speedup wrt I-FAM vs #nodes",
+                        "nodes", {"pf", "dc"});
+    // The axis comes from the sweep registry so the bench curve and
+    // the golden-pinned fig16_num_nodes sweep cover the same counts.
+    const Sweep& axis_source =
+        SweepRegistry::paper().byName("fig16_num_nodes");
+    for (const auto& point : axis_source.axis.points) {
+        auto nodes = static_cast<unsigned>(point.value);
         std::cerr << "fig16: " << nodes << " node(s)...\n";
         std::vector<double> row;
         for (const char* bench : {"pf", "dc"}) {
-            SystemConfig ifam = makeConfig(profiles::byName(bench),
-                                           ArchKind::IFam, instr);
+            SystemConfig ifam =
+                makeConfig(profiles::byName(bench), ArchKind::IFam,
+                           options.instructions);
             ifam.nodes = nodes;
             // The multi-node fabric arbitrates per packet; a thinner
             // shared channel exposes the contention that I-FAM's
             // translation traffic creates (§V-D4).
-            ifam.fabric.serialization = 6 * kNanosecond;
-            SystemConfig deact = makeConfig(profiles::byName(bench),
-                                            ArchKind::DeactN, instr);
+            ifam.fabric.serialization = kContendedFabricSerialization;
+            SystemConfig deact =
+                makeConfig(profiles::byName(bench), ArchKind::DeactN,
+                           options.instructions);
             deact.nodes = nodes;
-            deact.fabric.serialization = 6 * kNanosecond;
+            deact.fabric.serialization = kContendedFabricSerialization;
             double i = runOne(ifam).ipc;
             double d = runOne(deact).ipc;
             row.push_back(i > 0 ? d / i : 0.0);
         }
-        table.addRow(std::to_string(nodes), row);
+        report.addRow(std::to_string(nodes), row);
     }
-    table.print(std::cout);
-    std::cout << "(paper: speedup grows with sharing; dc 2.92x at 1 "
-                 "node -> 3.26x at 8 nodes)\n";
-    return 0;
+    report.addNote("paper: speedup grows with sharing; dc 2.92x at 1 "
+                   "node -> 3.26x at 8 nodes");
+    return emitReport(report, options);
 }

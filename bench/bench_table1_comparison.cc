@@ -7,33 +7,18 @@
 
 #include <iostream>
 
-#include "arch/system.hh"
+#include "harness/figure_report.hh"
 
 using namespace famsim;
 
-namespace {
-
-struct Row {
-    const char* arch;
-    bool performance;
-    bool avoidsOsChanges;
-    bool security;
-};
-
-const char*
-mark(bool yes)
-{
-    return yes ? "yes" : "no ";
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char** argv)
 {
-    std::cout << "Table I: FAM Architectures Comparison\n";
-    std::cout << "-------------------------------------------------------\n";
-    std::cout << "Architecture  Performance  Avoid-OS-Changes  Security\n";
+    BenchOptions options = parseBenchArgs(argc, argv, 0);
+
+    FigureReport report(
+        "table1_comparison", "Table I: FAM Architectures Comparison",
+        "arch", {"performance", "avoids_os_changes", "security"});
 
     // The properties follow directly from how each system is built:
     //  - E-FAM: NodeOs runs in Exposed mode (patched OS talks to the
@@ -42,20 +27,13 @@ main()
     //    verified at the STU; the extra indirection costs performance.
     //  - DeACT: unmodified OS; verification still at the STU; the
     //    node-side translation cache recovers the performance.
-    Row rows[] = {
-        {"E-FAM", true, false, false},
-        {"I-FAM", false, true, true},
-        {"DeACT", true, true, true},
-    };
-    for (const auto& row : rows) {
-        std::cout << row.arch << "\t\t" << mark(row.performance)
-                  << "\t     " << mark(row.avoidsOsChanges) << "\t\t"
-                  << mark(row.security) << "\n";
-    }
+    report.addRow("E-FAM", {1, 0, 0});
+    report.addRow("I-FAM", {0, 1, 1});
+    report.addRow("DeACT", {1, 1, 1});
 
-    std::cout << "\n(Claims cross-checked by construction: E-FAM uses "
-                 "FamMode::Exposed + unverified DirectFamPath; I-FAM and "
-                 "DeACT use FamMode::Indirect + STU verification. See "
-                 "tests/test_security.cc for enforced invariants.)\n";
-    return 0;
+    report.addNote("1 = yes, 0 = no");
+    report.addNote("Claims cross-checked by construction: E-FAM uses "
+                   "FamMode::Exposed + unverified DirectFamPath; I-FAM "
+                   "and DeACT use FamMode::Indirect + STU verification");
+    return emitReport(report, options);
 }

@@ -5,64 +5,85 @@
  */
 
 #include <iostream>
+#include <sstream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
 using namespace famsim;
 
-int
-main()
+namespace {
+
+std::string
+str(double v)
 {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    BenchOptions options = parseBenchArgs(argc, argv, 0);
+
     SystemConfig config = makeConfig(profiles::byName("mcf"),
                                      ArchKind::DeactN);
     config.finalize();
 
     auto ns = [](Tick t) { return t / kNanosecond; };
 
-    std::cout << "Table II: System Configuration\n";
-    std::cout << "Node\n";
-    std::cout << "  CPU               " << config.coresPerNode
-              << " out-of-order cores, "
-              << 1000.0 / static_cast<double>(config.core.period)
-              << " GHz, " << config.core.issueWidth << " issues/cycle, "
-              << config.core.maxOutstanding
-              << " max outstanding requests\n";
-    std::cout << "  TLB               2 levels, L1 size: "
-              << config.tlb.l1Entries
-              << " entries, L2 size: " << config.tlb.l2Entries
-              << " entries\n";
-    std::cout << "  L1                private, 64B blocks, "
-              << config.l1.sizeBytes / 1024 << "KB, LRU\n";
-    std::cout << "  L2                private, 64B blocks, "
-              << config.l2.sizeBytes / 1024 << "KB, LRU\n";
-    std::cout << "  L3                shared, 64B blocks, "
-              << config.l3.sizeBytes / 1024 / 1024 << "MB, LRU\n";
-    std::cout << "  Local memory      DRAM, size: "
-              << (config.os.localBytes >> 30) << "GB\n";
-    std::cout << "STU\n";
-    std::cout << "  Cache             size: " << config.stu.entries
-              << " entries, associativity: " << config.stu.assoc << "\n";
-    std::cout << "Fabric network\n";
-    std::cout << "  Latency           "
-              << ns(config.stu.nodeLinkLatency + config.fabric.latency)
-              << "ns (node-STU " << ns(config.stu.nodeLinkLatency)
-              << "ns + fabric " << ns(config.fabric.latency) << "ns)\n";
-    std::cout << "Fabric attached memory (NVM)\n";
-    std::cout << "  Capacity          "
-              << (config.fam.capacityBytes >> 30) << "GB\n";
-    std::cout << "  Latency           read "
-              << ns(config.fam.nvm.readLatency) << "ns, write "
-              << ns(config.fam.nvm.writeLatency) << "ns\n";
-    std::cout << "  Banks             " << config.fam.nvm.banks << "\n";
-    std::cout << "  Outstanding req.  " << config.fam.nvm.maxOutstanding
-              << "\n";
-    std::cout << "Software\n";
-    std::cout << "  FAM transl. cache "
-              << (config.translator.cacheBytes >> 10)
-              << "KB in DRAM, 4-way, random replacement\n";
-    std::cout << "  PTW caches        " << config.ptwCacheEntries
-              << " entries (node and STU walkers)\n";
-    std::cout << "  ACM               " << config.stu.acmBits
-              << "-bit entries, shared pages at 1GB granularity\n";
-    return 0;
+    FigureReport report("table2_config",
+                        "Table II: System Configuration", "", {});
+    report.addMeta("cpu", str(config.coresPerNode) +
+                              " out-of-order cores, " +
+                              str(1000.0 /
+                                  static_cast<double>(config.core.period)) +
+                              " GHz, " + str(config.core.issueWidth) +
+                              " issues/cycle, " +
+                              str(config.core.maxOutstanding) +
+                              " max outstanding requests");
+    report.addMeta("tlb", "2 levels, L1 " + str(config.tlb.l1Entries) +
+                              " entries, L2 " +
+                              str(config.tlb.l2Entries) + " entries");
+    report.addMeta("l1", "private, 64B blocks, " +
+                             str(config.l1.sizeBytes / 1024) +
+                             "KB, LRU");
+    report.addMeta("l2", "private, 64B blocks, " +
+                             str(config.l2.sizeBytes / 1024) +
+                             "KB, LRU");
+    report.addMeta("l3", "shared, 64B blocks, " +
+                             str(config.l3.sizeBytes / 1024 / 1024) +
+                             "MB, LRU");
+    report.addMeta("local_memory",
+                   "DRAM, size: " + str(config.os.localBytes >> 30) +
+                       "GB");
+    report.addMeta("stu_cache",
+                   "size: " + str(config.stu.entries) +
+                       " entries, associativity: " +
+                       str(config.stu.assoc));
+    report.addMeta(
+        "fabric_latency",
+        str(ns(config.stu.nodeLinkLatency + config.fabric.latency)) +
+            "ns (node-STU " + str(ns(config.stu.nodeLinkLatency)) +
+            "ns + fabric " + str(ns(config.fabric.latency)) + "ns)");
+    report.addMeta("fam_capacity",
+                   str(config.fam.capacityBytes >> 30) + "GB");
+    report.addMeta("fam_latency",
+                   "read " + str(ns(config.fam.nvm.readLatency)) +
+                       "ns, write " +
+                       str(ns(config.fam.nvm.writeLatency)) + "ns");
+    report.addMeta("fam_banks", str(config.fam.nvm.banks));
+    report.addMeta("fam_outstanding", str(config.fam.nvm.maxOutstanding));
+    report.addMeta("fam_translation_cache",
+                   str(config.translator.cacheBytes >> 10) +
+                       "KB in DRAM, 4-way, random replacement");
+    report.addMeta("ptw_caches", str(config.ptwCacheEntries) +
+                                     " entries (node and STU walkers)");
+    report.addMeta("acm", str(config.stu.acmBits) +
+                              "-bit entries, shared pages at 1GB "
+                              "granularity");
+    return emitReport(report, options);
 }

@@ -8,28 +8,30 @@
 
 #include <iostream>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
 using namespace famsim;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv, 200000);
     ScopedQuietLogs quiet;
-    std::uint64_t instr = instrBudget(200000);
 
-    SeriesTable table("Table III: applications and MPKI", "bench",
-                      {"paper MPKI", "measured", "AT-sensitive"});
+    FigureReport report("table3_applications",
+                        "Table III: applications and MPKI", "bench",
+                        {"paper MPKI", "measured", "AT-sensitive"});
     for (const auto& profile : profiles::all()) {
         std::cerr << "table3: " << profile.name << "...\n";
-        RunResult r = runOne(makeConfig(profile, ArchKind::EFam, instr));
-        table.addRow(profile.name,
-                     {profile.paperMpki, r.mpki,
-                      profile.atSensitive ? 1.0 : 0.0});
+        RunResult r = runOne(
+            makeConfig(profile, ArchKind::EFam, options.instructions));
+        report.addRow(profile.name,
+                      {profile.paperMpki, r.mpki,
+                       profile.atSensitive ? 1.0 : 0.0});
     }
-    table.print(std::cout);
-    std::cout << "(suite mapping: mcf/cactus/astar SPEC2006; "
-                 "frqm/canl PARSEC; bc/cc/ccsv/sssp GAP; pf Mantevo; "
-                 "dc/lu/mg/sp NAS)\n";
-    return 0;
+    report.addNote("suite mapping: mcf/cactus/astar SPEC2006; "
+                   "frqm/canl PARSEC; bc/cc/ccsv/sssp GAP; pf Mantevo; "
+                   "dc/lu/mg/sp NAS");
+    return emitReport(report, options);
 }

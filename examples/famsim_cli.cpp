@@ -28,6 +28,10 @@
  *     --list               list available benchmark profiles
  *     --scenario <name>    run a registered paper scenario, print JSON
  *     --list-scenarios     list registered paper scenarios
+ *     --sweep <name>       run a sensitivity sweep (Fig. 13-16); with
+ *                          --json print the whole curve as one JSON
+ *                          object, else a summary table
+ *     --list-sweeps        list registered sensitivity sweeps
  *     --help               print usage and exit 0
  */
 
@@ -35,8 +39,10 @@
 #include <iostream>
 #include <string>
 
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 #include "harness/scenario.hh"
+#include "harness/sweep.hh"
 #include "workload/trace.hh"
 
 using namespace famsim;
@@ -52,7 +58,8 @@ printUsage(std::ostream& os, const char* argv0)
           "  [--stu-assoc n] [--acm-bits 8|16|32] [--pairs 1..3]\n"
           "  [--fabric-ns n] [--seed n] [--warmup f]\n"
           "  [--record file] [--replay file] [--stats] [--csv] [--json]\n"
-          "  [--list] [--scenario name] [--list-scenarios] [--help]\n";
+          "  [--list] [--scenario name] [--list-scenarios]\n"
+          "  [--sweep name] [--list-sweeps] [--help]\n";
 }
 
 [[noreturn]] void
@@ -88,7 +95,8 @@ main(int argc, char** argv)
     double warmup = 0.3;
     bool dump_stats = false, dump_csv = false, dump_json = false;
     bool show_help = false, list_profiles = false, list_scenarios = false;
-    std::string scenario_name;
+    bool list_sweeps = false;
+    std::string scenario_name, sweep_name;
 
     // Parse every argument before dispatching any action, so a typo
     // after an action flag is still diagnosed.
@@ -130,6 +138,8 @@ main(int argc, char** argv)
         else if (arg == "--scenario")
             scenario_name = need("--scenario");
         else if (arg == "--list-scenarios") list_scenarios = true;
+        else if (arg == "--sweep") sweep_name = need("--sweep");
+        else if (arg == "--list-sweeps") list_sweeps = true;
         else if (arg == "--list") list_profiles = true;
         else {
             std::cerr << "unknown option '" << arg << "'\n";
@@ -146,6 +156,18 @@ main(int argc, char** argv)
             const Scenario& s = ScenarioRegistry::paper().byName(name);
             std::cout << name << "\t" << s.description << "\n";
         }
+        // Sweep points are runnable scenarios too ("<sweep>.<label>").
+        for (const auto& name : SweepRegistry::paperPoints().names()) {
+            const Scenario& s = SweepRegistry::paperPoints().byName(name);
+            std::cout << name << "\t" << s.description << "\n";
+        }
+        return 0;
+    }
+    if (list_sweeps) {
+        for (const auto& name : SweepRegistry::paper().names()) {
+            const Sweep& sweep = SweepRegistry::paper().byName(name);
+            std::cout << name << "\t" << sweep.description << "\n";
+        }
         return 0;
     }
     if (list_profiles) {
@@ -155,14 +177,71 @@ main(int argc, char** argv)
         }
         return 0;
     }
+    if (!scenario_name.empty() && !sweep_name.empty()) {
+        std::cerr << "--scenario and --sweep are mutually exclusive\n";
+        return 2;
+    }
+    if (!scenario_name.empty() || !sweep_name.empty()) {
+        // Scenario and sweep runs use their registry-pinned
+        // configurations; accepting a config flag silently would let
+        // the user believe they changed what was measured. --stats and
+        // --csv only apply to ad-hoc runs, so they are ignored too.
+        static const char* kPinnedFlags[] = {
+            "--bench", "--arch", "--instr", "--nodes", "--cores",
+            "--stu-entries", "--stu-assoc", "--acm-bits", "--pairs",
+            "--fabric-ns", "--seed", "--warmup", "--record", "--replay",
+            "--stats", "--csv",
+        };
+        for (int i = 1; i < argc; ++i) {
+            for (const char* flag : kPinnedFlags) {
+                if (std::strcmp(argv[i], flag) == 0) {
+                    std::cerr << "warning: " << flag
+                              << " is ignored; --scenario/--sweep runs "
+                                 "use their pinned configuration\n";
+                }
+            }
+        }
+    }
     if (!scenario_name.empty()) {
+        // Sweep points ("fig16_num_nodes.n4") run exactly like the
+        // headline scenarios.
         const ScenarioRegistry& reg = ScenarioRegistry::paper();
-        if (!reg.has(scenario_name)) {
+        const ScenarioRegistry& points = SweepRegistry::paperPoints();
+        if (!reg.has(scenario_name) && !points.has(scenario_name)) {
             std::cerr << "unknown scenario '" << scenario_name
                       << "' (try --list-scenarios)\n";
             return 2;
         }
-        std::cout << runScenarioJson(reg.byName(scenario_name));
+        std::cout << runScenarioJson(reg.has(scenario_name)
+                                         ? reg.byName(scenario_name)
+                                         : points.byName(scenario_name));
+        return 0;
+    }
+    if (!sweep_name.empty()) {
+        const SweepRegistry& sweeps = SweepRegistry::paper();
+        if (!sweeps.has(sweep_name)) {
+            std::cerr << "unknown sweep '" << sweep_name
+                      << "' (try --list-sweeps)\n";
+            return 2;
+        }
+        const Sweep& sweep = sweeps.byName(sweep_name);
+        if (dump_json) {
+            std::cout << runSweepJson(sweep);
+            return 0;
+        }
+        ScopedQuietLogs quiet_sweep;
+        FigureReport report(sweep.name, sweep.description,
+                            sweep.axis.name,
+                            {"ipc", "fam_at%", "at_hit%", "acm_hit%"});
+        for (const Scenario& point : sweep.expand()) {
+            std::cerr << "sweep: " << point.name << "...\n";
+            RunResult r = runOne(point.config);
+            report.addRow(point.name.substr(sweep.name.size() + 1),
+                          {r.ipc, r.famAtPercent,
+                           100.0 * r.translationHitRate,
+                           100.0 * r.acmHitRate});
+        }
+        report.printTable(std::cout);
         return 0;
     }
 

@@ -126,7 +126,7 @@ class SetAssocCache
         Line* line = find(key);
         if (!line)
             return false;
-        line->valid = false;
+        invalidateLine(*line);
         return true;
     }
 
@@ -135,7 +135,7 @@ class SetAssocCache
     invalidateAll()
     {
         for (auto& line : lines_)
-            line.valid = false;
+            invalidateLine(line);
     }
 
     /** Invalidate entries whose value matches @p pred. @return count. */
@@ -146,7 +146,7 @@ class SetAssocCache
         std::size_t count = 0;
         for (auto& line : lines_) {
             if (line.valid && pred(line.value)) {
-                line.valid = false;
+                invalidateLine(line);
                 ++count;
             }
         }
@@ -198,6 +198,21 @@ class SetAssocCache
     find(std::uint64_t key) const
     {
         return const_cast<SetAssocCache*>(this)->find(key);
+    }
+
+    /**
+     * Drop a line and its replacement state. A stale MRU bit (or
+     * lastUse stamp) left behind by an invalidation storm — e.g. the
+     * TLB shootdowns after a job migration — would keep protecting the
+     * way from eviction and bias victim selection long after refill.
+     */
+    void
+    invalidateLine(Line& line)
+    {
+        line.valid = false;
+        line.lastUse = 0;
+        if (policy_ == ReplPolicy::TreePlru)
+            plruBits_[static_cast<std::size_t>(&line - lines_.data())] = 0;
     }
 
     void

@@ -203,6 +203,12 @@ MemoryBroker::addInvalidateListener(InvalidateFn fn)
 MemoryBroker::MigrationReport
 MemoryBroker::migrateJob(NodeId from, NodeId to, bool use_logical_ids)
 {
+    // The target may never have faulted (a freshly drained node is a
+    // natural migration destination): give it a logical id and an
+    // empty system-level table now, instead of letting the table swap
+    // below default-construct a null entry that famTableOf would later
+    // dereference.
+    registerNode(to);
     ++migrations_;
     MigrationReport report;
     report.usedLogicalIds = use_logical_ids;

@@ -120,7 +120,8 @@ class MemoryBroker : public Component
     /**
      * Move the job on @p from to @p to. With @p use_logical_ids the ACM
      * is untouched (the logical id follows the job); otherwise every
-     * owned page's ACM entry is rewritten.
+     * owned page's ACM entry is rewritten. @p to is registered on the
+     * fly if it never faulted before; @p from must be registered.
      */
     MigrationReport migrateJob(NodeId from, NodeId to,
                                bool use_logical_ids);

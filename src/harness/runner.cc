@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <cstdlib>
-#include <iomanip>
 
 #include "sim/logging.hh"
 
@@ -76,6 +75,12 @@ geomean(const std::vector<double>& values)
                       : std::exp(log_sum / static_cast<double>(count));
 }
 
+Tick
+longHaulFabricLatency(Tick total, Tick node_link)
+{
+    return total > node_link ? total - node_link : total / 2;
+}
+
 std::vector<std::string>
 suiteNames()
 {
@@ -95,44 +100,6 @@ sensitivityGroups()
             groups[p.name].push_back(p);
     }
     return groups;
-}
-
-SeriesTable::SeriesTable(std::string title, std::string row_header,
-                         std::vector<std::string> columns)
-    : title_(std::move(title)),
-      rowHeader_(std::move(row_header)),
-      columns_(std::move(columns))
-{
-}
-
-void
-SeriesTable::addRow(const std::string& name,
-                    const std::vector<double>& values)
-{
-    FAMSIM_ASSERT(values.size() == columns_.size(),
-                  "row '", name, "' has ", values.size(),
-                  " values for ", columns_.size(), " columns");
-    rows_.emplace_back(name, values);
-}
-
-void
-SeriesTable::print(std::ostream& os, int precision) const
-{
-    os << "\n== " << title_ << " ==\n";
-    os << std::left << std::setw(12) << rowHeader_;
-    for (const auto& col : columns_)
-        os << std::right << std::setw(12) << col;
-    os << "\n";
-    os << std::string(12 + 12 * columns_.size(), '-') << "\n";
-    for (const auto& [name, values] : rows_) {
-        os << std::left << std::setw(12) << name;
-        for (double v : values) {
-            os << std::right << std::setw(12) << std::fixed
-               << std::setprecision(precision) << v;
-        }
-        os << "\n";
-    }
-    os.flush();
 }
 
 } // namespace famsim

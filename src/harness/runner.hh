@@ -51,33 +51,29 @@ makeConfig(const StreamProfile& profile, ArchKind arch,
 /** Geometric mean (ignores non-positive values defensively). */
 [[nodiscard]] double geomean(const std::vector<double>& values);
 
+/**
+ * Split a total fabric figure into the fixed node-STU hop plus the
+ * swept long haul (Fig. 15 / fig15_fabric_latency share this so the
+ * bench curve and the golden-pinned sweep can never drift apart):
+ * Table II's 500 ns is node-link + fabric, so sweeping "fabric
+ * latency = X" means a long haul of X minus the node hop (halving X
+ * when it is smaller than the hop itself).
+ */
+[[nodiscard]] Tick longHaulFabricLatency(Tick total, Tick node_link);
+
+/**
+ * Thin shared-channel occupancy per packet used by the Fig. 16
+ * contention study (§V-D4) — shared by bench_fig16 and the
+ * fig16_num_nodes sweep.
+ */
+inline constexpr Tick kContendedFabricSerialization = 6 * kNanosecond;
+
 /** The benchmark suites of Table III, for Fig. 13-15 grouping. */
 [[nodiscard]] std::vector<std::string> suiteNames();
 
 /** Profiles grouped per the sensitivity figures (suites + pf + dc). */
 [[nodiscard]] std::map<std::string, std::vector<StreamProfile>>
 sensitivityGroups();
-
-/**
- * Fixed-width series printer: one row per benchmark, one column per
- * series, matching the paper's figure layout.
- */
-class SeriesTable
-{
-  public:
-    SeriesTable(std::string title, std::string row_header,
-                std::vector<std::string> columns);
-
-    void addRow(const std::string& name,
-                const std::vector<double>& values);
-    void print(std::ostream& os, int precision = 2) const;
-
-  private:
-    std::string title_;
-    std::string rowHeader_;
-    std::vector<std::string> columns_;
-    std::vector<std::pair<std::string, std::vector<double>>> rows_;
-};
 
 } // namespace famsim
 

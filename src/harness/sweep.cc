@@ -1,0 +1,276 @@
+#include "harness/sweep.hh"
+
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "sim/logging.hh"
+
+namespace famsim {
+
+namespace {
+
+/**
+ * Sweep points are regression baselines like the headline scenarios:
+ * the budget is pinned here (never via FAMSIM_INSTR). Smaller than the
+ * scenario budget because one sweep multiplies it by its point count —
+ * and fig16 additionally by up to 8 nodes.
+ */
+constexpr std::uint64_t kSweepInstructions = 24000;
+
+SystemConfig
+sweepBase(const std::string& bench, ArchKind arch)
+{
+    SystemConfig config =
+        makeConfig(profiles::byName(bench), arch, kSweepInstructions);
+    // Pin the seed explicitly: sweep goldens must not move if the
+    // SystemConfig default seed ever changes.
+    config.seed = 1;
+    return config;
+}
+
+SweepRegistry
+buildPaperSweeps()
+{
+    SweepRegistry reg;
+
+    // Fig. 13: STU cache size. The smaller the STU, the more DeACT's
+    // in-memory translation caching helps; mcf is the canonical
+    // AT-sensitive benchmark.
+    {
+        Sweep sweep;
+        sweep.name = "fig13_stu_entries";
+        sweep.description =
+            "STU cache size sensitivity, 256-4096 entries (paper "
+            "Fig. 13)";
+        sweep.headlineMetric = "ipc";
+        sweep.base = sweepBase("mcf", ArchKind::DeactN);
+        sweep.axis.name = "stu_entries";
+        for (std::size_t entries : {256u, 512u, 1024u, 2048u, 4096u}) {
+            std::string label = "e" + std::to_string(entries);
+            if (entries < 1000)
+                label.insert(1, "0"); // e0256 sorts before e1024
+            sweep.axis.points.push_back(
+                {label, static_cast<double>(entries),
+                 [entries](SystemConfig& c) { c.stu.entries = entries; }});
+        }
+        reg.add(std::move(sweep));
+    }
+
+    // Fig. 14: ACM cache size via the entry width (8/16/32 bits) —
+    // wider entries mean fewer ACM entries per fetched block.
+    {
+        Sweep sweep;
+        sweep.name = "fig14_acm_size";
+        sweep.description =
+            "ACM entry width sensitivity, 8/16/32 bits (paper Fig. 14)";
+        sweep.headlineMetric = "ipc";
+        sweep.base = sweepBase("mcf", ArchKind::DeactN);
+        sweep.axis.name = "acm_bits";
+        for (unsigned bits : {8u, 16u, 32u}) {
+            std::string label =
+                (bits < 10 ? "b0" : "b") + std::to_string(bits);
+            sweep.axis.points.push_back(
+                {label, static_cast<double>(bits),
+                 [bits](SystemConfig& c) { c.stu.acmBits = bits; }});
+        }
+        reg.add(std::move(sweep));
+    }
+
+    // Fig. 15: one-way fabric latency 100 ns - 6 us. Every avoided FAM
+    // page-table walk saves full round trips, so the speedup grows
+    // with latency; pf is the paper's highlighted benchmark.
+    {
+        Sweep sweep;
+        sweep.name = "fig15_fabric_latency";
+        sweep.description =
+            "Fabric latency sensitivity, 100 ns - 6 us one-way (paper "
+            "Fig. 15)";
+        sweep.headlineMetric = "ipc";
+        sweep.base = sweepBase("pf", ArchKind::DeactN);
+        sweep.axis.name = "fabric_ns";
+        for (std::uint64_t ns : {100u, 500u, 1000u, 3000u, 6000u}) {
+            std::ostringstream label;
+            label << "ns" << (ns < 1000 ? "0" : "") << ns;
+            sweep.axis.points.push_back(
+                {label.str(), static_cast<double>(ns),
+                 [ns](SystemConfig& c) {
+                     c.fabric.latency = longHaulFabricLatency(
+                         ns * kNanosecond, c.stu.nodeLinkLatency);
+                 }});
+        }
+        reg.add(std::move(sweep));
+    }
+
+    // Fig. 16: 1-8 nodes sharing the fabric and the FAM pool —
+    // finally exercising the broker/fabric contention paths beyond a
+    // single node.
+    {
+        Sweep sweep;
+        sweep.name = "fig16_num_nodes";
+        sweep.description =
+            "Node count sensitivity, 1-8 nodes sharing the pool (paper "
+            "Fig. 16)";
+        sweep.headlineMetric = "ipc";
+        sweep.base = sweepBase("pf", ArchKind::DeactN);
+        // A thinner shared channel exposes the contention that
+        // translation traffic creates (§V-D4, as in bench_fig16).
+        sweep.base.fabric.serialization = kContendedFabricSerialization;
+        sweep.axis.name = "nodes";
+        for (unsigned nodes : {1u, 2u, 4u, 8u}) {
+            sweep.axis.points.push_back(
+                {"n" + std::to_string(nodes),
+                 static_cast<double>(nodes),
+                 [nodes](SystemConfig& c) { c.nodes = nodes; }});
+        }
+        reg.add(std::move(sweep));
+    }
+
+    return reg;
+}
+
+ScenarioRegistry
+buildPaperPoints()
+{
+    ScenarioRegistry reg;
+    const SweepRegistry& sweeps = SweepRegistry::paper();
+    for (const std::string& name : sweeps.names()) {
+        for (Scenario& scenario : sweeps.byName(name).expand())
+            reg.add(std::move(scenario));
+    }
+    return reg;
+}
+
+} // namespace
+
+Scenario
+Sweep::point(const SweepAxis::Point& p) const
+{
+    FAMSIM_ASSERT(p.apply, "sweep '", name, "' point '", p.label,
+                  "' has no config mutator");
+    Scenario scenario;
+    scenario.name = name + "." + p.label;
+    scenario.figure = name;
+    scenario.description = description;
+    scenario.headlineMetric = headlineMetric;
+    scenario.config = base;
+    p.apply(scenario.config);
+    return scenario;
+}
+
+std::vector<Scenario>
+Sweep::expand() const
+{
+    std::vector<Scenario> out;
+    out.reserve(axis.points.size());
+    for (const auto& p : axis.points)
+        out.push_back(point(p));
+    return out;
+}
+
+const SweepRegistry&
+SweepRegistry::paper()
+{
+    static const SweepRegistry registry = buildPaperSweeps();
+    return registry;
+}
+
+const ScenarioRegistry&
+SweepRegistry::paperPoints()
+{
+    static const ScenarioRegistry registry = buildPaperPoints();
+    return registry;
+}
+
+void
+SweepRegistry::add(Sweep sweep)
+{
+    FAMSIM_ASSERT(!sweep.name.empty(), "sweep needs a name");
+    FAMSIM_ASSERT(!sweep.axis.points.empty(), "sweep '", sweep.name,
+                  "' has no points");
+    auto [it, inserted] = sweeps_.emplace(sweep.name, std::move(sweep));
+    FAMSIM_ASSERT(inserted, "sweep '", it->first, "' registered twice");
+}
+
+bool
+SweepRegistry::has(const std::string& name) const
+{
+    return sweeps_.find(name) != sweeps_.end();
+}
+
+const Sweep&
+SweepRegistry::byName(const std::string& name) const
+{
+    auto it = sweeps_.find(name);
+    if (it == sweeps_.end())
+        FAMSIM_PANIC("unknown sweep '", name, "'");
+    return it->second;
+}
+
+std::vector<std::string>
+SweepRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(sweeps_.size());
+    for (const auto& [name, sweep] : sweeps_)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<std::string>
+goldenSweepPointNames()
+{
+    // One representative, non-default point per sweep; fig16 pins the
+    // 4-node point so the multi-node broker/fabric paths are covered
+    // on every ctest run without paying for the 8-node run.
+    return {
+        "fig13_stu_entries.e0256",
+        "fig14_acm_size.b08",
+        "fig15_fabric_latency.ns3000",
+        "fig16_num_nodes.n4",
+    };
+}
+
+std::string
+runSweepJson(const Sweep& sweep)
+{
+    std::ostringstream os;
+    os << "{\n  \"sweep\": ";
+    json::writeString(os, sweep.name);
+    os << ",\n  \"description\": ";
+    json::writeString(os, sweep.description);
+    os << ",\n  \"headline_metric\": ";
+    json::writeString(os, sweep.headlineMetric);
+    os << ",\n  \"axis\": ";
+    json::writeString(os, sweep.axis.name);
+
+    os << ",\n  \"axis_values\": [";
+    for (std::size_t i = 0; i < sweep.axis.points.size(); ++i) {
+        os << (i ? ", " : "");
+        json::writeNumber(os, sweep.axis.points[i].value);
+    }
+    os << "]";
+
+    os << ",\n  \"points\": [";
+    bool first = true;
+    for (const auto& p : sweep.axis.points) {
+        // Each point embeds the full scenario export, reindented to
+        // nest inside the points array.
+        std::string body = runScenarioJson(sweep.point(p));
+        while (!body.empty() &&
+               (body.back() == '\n' || body.back() == ' '))
+            body.pop_back();
+        std::string indented;
+        indented.reserve(body.size() + 128);
+        for (char c : body) {
+            indented.push_back(c);
+            if (c == '\n')
+                indented.append("    ");
+        }
+        os << (first ? "" : ",") << "\n    " << indented;
+        first = false;
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace famsim

@@ -44,8 +44,13 @@ EventQueue::run(Tick limit)
         runOne();
         ++count;
     }
-    if (now_ < limit && queue_.empty())
-        now_ = now_; // queue drained before the horizon; time stays put
+    // A bounded run simulates *through* the horizon: even if the queue
+    // drained early (or only holds later events), time advances to the
+    // limit so a subsequent scheduleAfter is relative to the horizon,
+    // not to the last executed event. The open-ended default runs to
+    // completion and leaves time at the last event's tick.
+    if (limit != kForever && now_ < limit)
+        now_ = limit;
     return count;
 }
 

@@ -26,6 +26,9 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    /** Sentinel limit for run(): execute until the queue drains. */
+    static constexpr Tick kForever = ~Tick{0};
+
     /**
      * Schedule @p cb to run at absolute tick @p when.
      * Scheduling in the past (before curTick()) is a simulator bug.
@@ -40,10 +43,13 @@ class EventQueue
 
     /**
      * Run events until the queue drains or the tick would exceed
-     * @p limit. Events exactly at @p limit still run.
+     * @p limit. Events exactly at @p limit still run. With a finite
+     * @p limit, curTick() afterwards equals @p limit even if the queue
+     * drained before the horizon; with the kForever default, time
+     * stays at the last executed event.
      * @return the number of events executed.
      */
-    std::uint64_t run(Tick limit = ~Tick{0});
+    std::uint64_t run(Tick limit = kForever);
 
     /** Current simulated time (last executed event's tick). */
     [[nodiscard]] Tick curTick() const { return now_; }

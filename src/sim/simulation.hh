@@ -36,7 +36,10 @@ class Simulation
     [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
     /** Run the event loop until it drains or @p limit is reached. */
-    std::uint64_t run(Tick limit = ~Tick{0}) { return events_.run(limit); }
+    std::uint64_t run(Tick limit = EventQueue::kForever)
+    {
+        return events_.run(limit);
+    }
 
   private:
     std::uint64_t seed_;

@@ -58,6 +58,43 @@ TEST(EventQueue, RunHonoursLimit)
     EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, DrainBeforeHorizonAdvancesToLimit)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    EXPECT_EQ(q.run(100), 1u);
+    // The queue drained at tick 10, but the bounded run simulated
+    // through tick 100: relative scheduling continues from there.
+    EXPECT_EQ(q.curTick(), 100u);
+    Tick fired = 0;
+    q.scheduleAfter(5, [&] { fired = q.curTick(); });
+    q.run();
+    EXPECT_EQ(fired, 105u);
+}
+
+TEST(EventQueue, BoundedRunAdvancesPastSkippedEvents)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.schedule(200, [] {});
+    EXPECT_EQ(q.run(100), 1u);
+    EXPECT_EQ(q.curTick(), 100u); // horizon, not the last event
+    EXPECT_EQ(q.size(), 1u);      // tick-200 event still pending
+    q.run();
+    EXPECT_EQ(q.curTick(), 200u);
+}
+
+TEST(EventQueue, OpenEndedRunStaysAtLastEvent)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run(); // kForever: must NOT advance time to the sentinel
+    EXPECT_EQ(q.curTick(), 10u);
+    q.scheduleAfter(1, [] {});
+    EXPECT_EQ(q.run(), 1u);
+    EXPECT_EQ(q.curTick(), 11u);
+}
+
 TEST(EventQueue, EventsCanScheduleMoreEvents)
 {
     EventQueue q;

@@ -326,6 +326,38 @@ TEST_F(BrokerTest, MigrationWithLogicalIdsTouchesNoAcm)
     EXPECT_EQ(acm_.pagesOwnedBy(logical0).size(), 10u);
 }
 
+TEST_F(BrokerTest, MigrationToUnregisteredNodeRegistersIt)
+{
+    // Regression: migrating onto a node that never faulted used to
+    // default-construct a null table in the famTables_ swap, which
+    // famTableOf() then dereferenced.
+    NodeId logical0 = broker_.logicalIdOf(0);
+    broker_.allocPage(logical0, Perms{});
+    broker_.famTableOf(0).map(0x1000, 0x42, Perms{});
+
+    auto report = broker_.migrateJob(0, 7, /*use_logical_ids=*/true);
+    EXPECT_EQ(report.pagesMoved, 1u);
+    EXPECT_EQ(broker_.logicalIdOf(7), logical0);
+    // The table followed the job and is usable on the new node.
+    EXPECT_TRUE(broker_.famTableOf(7).lookup(0x1000).has_value());
+    EXPECT_EQ(broker_.famTableOf(7).lookup(0x1000)->valuePage, 0x42u);
+    EXPECT_EQ(broker_.famTableOf(0).mappings(), 0u);
+}
+
+TEST_F(BrokerTest, MigrationWithAcmRewriteToUnregisteredNode)
+{
+    NodeId logical0 = broker_.logicalIdOf(0);
+    for (int i = 0; i < 3; ++i)
+        broker_.allocPage(logical0, Perms{});
+
+    auto report = broker_.migrateJob(0, 9, /*use_logical_ids=*/false);
+    EXPECT_EQ(report.pagesMoved, 3u);
+    EXPECT_EQ(report.acmWrites, 3u);
+    // The target got a fresh logical id and now owns the pages.
+    EXPECT_EQ(acm_.pagesOwnedBy(broker_.logicalIdOf(9)).size(), 3u);
+    EXPECT_TRUE(acm_.pagesOwnedBy(logical0).empty());
+}
+
 // ---------------------------------------------------------------- fabric
 
 TEST(FabricLink, PropagationAndSerialization)

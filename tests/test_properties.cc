@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fam/broker.hh"
 #include "harness/runner.hh"
+#include "sim/logging.hh"
 
 namespace famsim {
 namespace {
@@ -95,6 +101,93 @@ INSTANTIATE_TEST_SUITE_P(
                       "cc", "ccsv", "sssp", "pf", "dc", "lu", "mg",
                       "sp"),
     [](const auto& info) { return info.param; });
+
+// ----------------------------------------------------------- geomean
+
+TEST(Geomean, MatchesClosedFormAndSkipsNonPositives)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+    // Non-positive values must be skipped, not poison the mean (a
+    // failed run reporting 0 IPC would otherwise zero a whole suite).
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0, 0.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0, -3.0}), 4.0);
+    // No positive values at all degrades to 0, never NaN/inf.
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+}
+
+TEST(Geomean, OrderAndScaleInvariance)
+{
+    const std::vector<double> values{0.25, 1.0, 3.5, 7.0, 0.0, 42.0};
+    std::vector<double> shuffled{42.0, 0.0, 7.0, 0.25, 3.5, 1.0};
+    EXPECT_DOUBLE_EQ(geomean(values), geomean(shuffled));
+
+    std::vector<double> scaled;
+    for (double v : values)
+        scaled.push_back(v * 10.0);
+    // geomean(k*x) == k * geomean(x) over the positive entries.
+    EXPECT_NEAR(geomean(scaled), 10.0 * geomean(values), 1e-9);
+
+    // Bounded by min/max of the positive entries.
+    EXPECT_GE(geomean(values), 0.25);
+    EXPECT_LE(geomean(values), 42.0);
+}
+
+// ----------------------------------------------- broker page scatter
+
+TEST(BrokerScatter, AllocationIsBijectiveOverThePool)
+{
+    // A small pool the test can exhaust: every allocatable page must
+    // be handed out exactly once (the multiplicative scatter is a
+    // permutation), and exhaustion must be a loud simulator error,
+    // not a wrap-around double-allocation.
+    Simulation sim;
+    // Smallest legal pool (1 GB) with most of it held back as shared
+    // reserve, leaving ~32k allocatable pages to exhaust quickly.
+    FamLayout layout(1ull << 30, 16, 896ull << 20);
+    AcmStore acm(16);
+    MemoryBroker broker(sim, "broker", BrokerParams{}, layout, acm,
+                        nullptr);
+    broker.registerNode(0);
+
+    const std::uint64_t allocatable =
+        layout.usablePages() - layout.sharedReservePages();
+    // registerNode consumed pages for the node's FAM page table roots.
+    const std::uint64_t already = broker.pagesAllocated();
+    ASSERT_LT(already, allocatable);
+
+    std::vector<bool> seen(allocatable, false);
+    for (std::uint64_t i = already; i < allocatable; ++i) {
+        std::uint64_t page = broker.allocPage(0, Perms{});
+        ASSERT_LT(page, allocatable) << "page outside the pool";
+        ASSERT_FALSE(seen[page]) << "page " << page << " handed out twice";
+        seen[page] = true;
+    }
+    // Exactly the table pages remain unseen.
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  std::count(seen.begin(), seen.end(), false)),
+              already);
+
+    ScopedThrowOnError throw_on_error;
+    EXPECT_THROW(broker.allocPage(0, Perms{}), SimError);
+}
+
+TEST(BrokerScatter, ContiguousModeAllocatesInOrder)
+{
+    // The DeACT-W ablation (scatterAllocation = false) hands out the
+    // pool front-to-back.
+    Simulation sim;
+    FamLayout layout(1ull << 30, 16, 896ull << 20);
+    AcmStore acm(16);
+    BrokerParams params;
+    params.scatterAllocation = false;
+    MemoryBroker broker(sim, "broker", params, layout, acm, nullptr);
+    broker.registerNode(0);
+    const std::uint64_t base = broker.pagesAllocated();
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(broker.allocPage(0, Perms{}), base + i);
+}
 
 TEST(CrossArch, FamTrafficOrderingHolds)
 {

@@ -13,10 +13,12 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "harness/scenario.hh"
+#include "harness/sweep.hh"
 #include "sim/logging.hh"
 
 #ifndef FAMSIM_GOLDEN_DIR
@@ -50,14 +52,22 @@ updateRequested()
     return env != nullptr && *env != '\0' && std::string(env) != "0";
 }
 
+/** Headline scenarios and sweep points share one golden machinery. */
+const Scenario&
+findScenario(const std::string& name)
+{
+    if (ScenarioRegistry::paper().has(name))
+        return ScenarioRegistry::paper().byName(name);
+    return SweepRegistry::paperPoints().byName(name);
+}
+
 class ScenarioGolden : public testing::TestWithParam<std::string>
 {
 };
 
 TEST_P(ScenarioGolden, MatchesGoldenJson)
 {
-    const Scenario& scenario =
-        ScenarioRegistry::paper().byName(GetParam());
+    const Scenario& scenario = findScenario(GetParam());
     const std::string actual = runScenarioJson(scenario);
     const std::string path = goldenPath(scenario.name);
 
@@ -78,17 +88,26 @@ TEST_P(ScenarioGolden, MatchesGoldenJson)
            "with FAMSIM_UPDATE_GOLDEN=1 and commit the diff";
 }
 
+std::string
+testId(const testing::TestParamInfo<std::string>& info)
+{
+    std::string id = info.param;
+    for (char& c : id) {
+        if (c == '.' || c == '-')
+            c = '_';
+    }
+    return id;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Paper, ScenarioGolden,
-    testing::ValuesIn(ScenarioRegistry::paper().names()),
-    [](const testing::TestParamInfo<std::string>& info) {
-        std::string id = info.param;
-        for (char& c : id) {
-            if (c == '.' || c == '-')
-                c = '_';
-        }
-        return id;
-    });
+    testing::ValuesIn(ScenarioRegistry::paper().names()), testId);
+
+// One pinned point per sensitivity sweep (Fig. 13-16); the full
+// expansions run via famsim_cli --sweep and the CI artifact export.
+INSTANTIATE_TEST_SUITE_P(Sweeps, ScenarioGolden,
+                         testing::ValuesIn(goldenSweepPointNames()),
+                         testId);
 
 // ------------------------------------------------------------ registry
 
@@ -123,6 +142,98 @@ TEST(ScenarioRegistry, RejectsDuplicateNames)
     reg.add(s);
     ScopedThrowOnError throw_on_error;
     EXPECT_THROW(reg.add(s), SimError);
+}
+
+// ------------------------------------------------------------- sweeps
+
+TEST(SweepRegistry, PaperCoversSensitivityFigures)
+{
+    const SweepRegistry& reg = SweepRegistry::paper();
+    ASSERT_TRUE(reg.has("fig13_stu_entries"));
+    ASSERT_TRUE(reg.has("fig14_acm_size"));
+    ASSERT_TRUE(reg.has("fig15_fabric_latency"));
+    ASSERT_TRUE(reg.has("fig16_num_nodes"));
+    EXPECT_EQ(reg.size(), 4u);
+    for (const std::string& name : reg.names())
+        EXPECT_GE(reg.byName(name).axis.points.size(), 3u);
+}
+
+TEST(SweepRegistry, Fig16CoversPaperNodeCounts)
+{
+    const Sweep& sweep =
+        SweepRegistry::paper().byName("fig16_num_nodes");
+    std::vector<double> values;
+    for (const auto& p : sweep.axis.points)
+        values.push_back(p.value);
+    EXPECT_EQ(values, (std::vector<double>{1, 2, 4, 8}));
+    // The mutator actually reconfigures the node count.
+    const std::vector<Scenario> points = sweep.expand();
+    ASSERT_EQ(points.size(), values.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].figure, "fig16_num_nodes");
+        EXPECT_EQ(static_cast<double>(points[i].config.nodes),
+                  values[i]);
+    }
+}
+
+TEST(SweepRegistry, ExpansionNamesAreRegisteredPoints)
+{
+    const ScenarioRegistry& points = SweepRegistry::paperPoints();
+    std::size_t total = 0;
+    for (const std::string& name : SweepRegistry::paper().names()) {
+        const Sweep& sweep = SweepRegistry::paper().byName(name);
+        total += sweep.axis.points.size();
+        for (const Scenario& point : sweep.expand()) {
+            ASSERT_TRUE(points.has(point.name)) << point.name;
+            EXPECT_EQ(point.name.rfind(name + ".", 0), 0u)
+                << "point name must be '<sweep>.<label>'";
+            // Sweep budgets must not depend on the environment.
+            EXPECT_GT(point.config.core.instructionLimit, 0u);
+        }
+    }
+    EXPECT_EQ(points.size(), total);
+}
+
+TEST(SweepRegistry, GoldenPointsCoverEverySweep)
+{
+    const ScenarioRegistry& points = SweepRegistry::paperPoints();
+    std::set<std::string> figures;
+    for (const std::string& name : goldenSweepPointNames()) {
+        ASSERT_TRUE(points.has(name)) << name;
+        figures.insert(points.byName(name).figure);
+    }
+    EXPECT_EQ(figures.size(), SweepRegistry::paper().size())
+        << "every sweep needs at least one golden-pinned point";
+}
+
+TEST(SweepRegistry, RejectsDuplicatesAndEmptySweeps)
+{
+    ScopedThrowOnError throw_on_error;
+    SweepRegistry reg;
+    Sweep empty;
+    empty.name = "empty";
+    EXPECT_THROW(reg.add(empty), SimError);
+
+    Sweep sweep;
+    sweep.name = "s";
+    sweep.axis.points.push_back({"p1", 1.0, [](SystemConfig&) {}});
+    reg.add(sweep);
+    EXPECT_THROW(reg.add(sweep), SimError);
+}
+
+TEST(SweepJson, SameSeedSameBytes)
+{
+    // The famsim_cli --sweep export must be byte-stable, golden-style.
+    const Sweep& sweep = SweepRegistry::paper().byName("fig14_acm_size");
+    const std::string first = runSweepJson(sweep);
+    const std::string second = runSweepJson(sweep);
+    EXPECT_EQ(first, second);
+    // And it must cover every axis point.
+    for (const auto& p : sweep.axis.points) {
+        EXPECT_NE(first.find("\"" + sweep.name + "." + p.label + "\""),
+                  std::string::npos)
+            << p.label;
+    }
 }
 
 // -------------------------------------------------------- determinism

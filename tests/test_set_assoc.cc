@@ -84,6 +84,80 @@ TEST(SetAssoc, InvalidateIfSelectsByValue)
     EXPECT_EQ(cache.countValid(), 4u);
 }
 
+TEST(SetAssoc, InvalidateClearsPlruProtection)
+{
+    // Regression: invalidate() used to leave the invalidated way's
+    // TreePLRU MRU bit set. The stale bit skewed the all-bits-set
+    // reset in touch() and could victimize a just-inserted entry while
+    // protecting a dead way's successor. Post-fix, the storm leaves no
+    // residue and the eviction below hits the genuinely oldest entry.
+    SetAssocCache<int> cache(1, 4, ReplPolicy::TreePlru);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        cache.insert(k, static_cast<int>(k));
+    cache.invalidate(3);
+    cache.lookup(0);
+    cache.lookup(1);
+    cache.lookup(2);
+    cache.insert(4, 4); // refills the freed way
+    EXPECT_FALSE(cache.lookup(3));
+    auto first = cache.insert(5, 5);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->key, 0u);
+    auto second = cache.insert(6, 6);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->key, 1u);
+    // With a stale bit this evicted key 5 (inserted two steps ago).
+    auto third = cache.insert(7, 7);
+    ASSERT_TRUE(third.has_value());
+    EXPECT_EQ(third->key, 2u);
+}
+
+TEST(SetAssoc, InvalidateIfClearsPlruProtection)
+{
+    // Same storm as above, driven through invalidateIf (the
+    // post-migration shootdown path).
+    SetAssocCache<int> cache(1, 4, ReplPolicy::TreePlru);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        cache.insert(k, static_cast<int>(k));
+    EXPECT_EQ(cache.invalidateIf([](int v) { return v == 3; }), 1u);
+    cache.lookup(0);
+    cache.lookup(1);
+    cache.lookup(2);
+    cache.insert(4, 4);
+    cache.insert(5, 5);
+    cache.insert(6, 6);
+    auto evicted = cache.insert(7, 7);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->key, 2u);
+}
+
+TEST(SetAssoc, InvalidationStormLeavesNoReplacementResidue)
+{
+    // A cache that was filled and fully shot down must behave exactly
+    // like a fresh cache from then on: identical eviction decisions
+    // for an identical access sequence.
+    SetAssocCache<int> fresh(1, 4, ReplPolicy::TreePlru);
+    SetAssocCache<int> stormed(1, 4, ReplPolicy::TreePlru);
+    for (std::uint64_t k = 100; k < 104; ++k)
+        stormed.insert(k, 0);
+    stormed.invalidateAll();
+
+    for (std::uint64_t k = 0; k < 4; ++k) {
+        fresh.insert(k, static_cast<int>(k));
+        stormed.insert(k, static_cast<int>(k));
+    }
+    for (std::uint64_t k = 4; k < 12; ++k) {
+        fresh.lookup(k % 3);
+        stormed.lookup(k % 3);
+        auto a = fresh.insert(k, static_cast<int>(k));
+        auto b = stormed.insert(k, static_cast<int>(k));
+        ASSERT_EQ(a.has_value(), b.has_value()) << "step " << k;
+        if (a.has_value()) {
+            EXPECT_EQ(a->key, b->key) << "step " << k;
+        }
+    }
+}
+
 TEST(SetAssoc, KeysMapToDistinctSets)
 {
     // Keys differing only above the set bits must not evict each other

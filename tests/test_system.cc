@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
+#include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
 namespace famsim {
@@ -243,23 +247,50 @@ TEST(Harness, SensitivityGroupsMatchPaper)
     EXPECT_EQ(groups["dc"].size(), 1u);
 }
 
-TEST(Harness, SeriesTablePrintsAllRows)
+TEST(Harness, FigureReportPrintsAllRows)
 {
-    SeriesTable table("Fig X", "bench", {"a", "b"});
-    table.addRow("mcf", {1.0, 2.0});
-    table.addRow("canl", {3.0, 4.0});
+    FigureReport report("figx", "Fig X", "bench", {"a", "b"});
+    report.addRow("mcf", {1.0, 2.0});
+    report.addRow("canl", {3.0, 4.0});
+    report.addSummary("geomean", 2.5);
+    report.addNote("shape");
     std::ostringstream os;
-    table.print(os);
+    report.printTable(os);
     EXPECT_NE(os.str().find("mcf"), std::string::npos);
     EXPECT_NE(os.str().find("canl"), std::string::npos);
     EXPECT_NE(os.str().find("4.00"), std::string::npos);
+    EXPECT_NE(os.str().find("geomean"), std::string::npos);
 }
 
-TEST(Harness, SeriesTableRejectsBadRow)
+TEST(Harness, FigureReportRejectsBadRow)
 {
     ScopedThrowOnError guard;
-    SeriesTable table("t", "r", {"a"});
-    EXPECT_THROW(table.addRow("x", {1.0, 2.0}), SimError);
+    FigureReport report("t", "t", "r", {"a"});
+    EXPECT_THROW(report.addRow("x", {1.0, 2.0}), SimError);
+}
+
+TEST(Harness, FigureReportJsonIsWellFormedAndDeterministic)
+{
+    FigureReport report("figx", "Fig X", "bench", {"a", "b"});
+    report.addRow("mcf", {1.0, 2.5});
+    report.addSummary("geomean", 1.581);
+    report.addMeta("best", "mcf");
+    report.addNote("a \"quoted\" note");
+    std::ostringstream first, second;
+    report.writeJson(first);
+    report.writeJson(second);
+    EXPECT_EQ(first.str(), second.str());
+    const std::string json = first.str();
+    EXPECT_NE(json.find("\"figure\": \"figx\""), std::string::npos);
+    EXPECT_NE(json.find("\"columns\": [\"a\", \"b\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"values\": [1, 2.5]"), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
 }
 
 } // namespace
