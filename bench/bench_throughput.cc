@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Host-throughput benchmark of the simulator's hot paths (the
+ * BENCH_hotpath trajectory): SetAssocCache lookups/inserts per
+ * replacement policy, StreamGen op generation, EventQueue scheduling
+ * churn, raw RNG draws, and the end-to-end fig12 performance-scenario
+ * wall clock. Unlike the bench_fig* binaries this measures *host*
+ * speed (ns/op, Mops/s), so the values vary by machine; each row also
+ * carries rel_cost — its cost normalized to a raw PCG32 draw on the
+ * same host — which is stable enough across machines to regression-gate
+ * in CI (see --baseline).
+ *
+ *   bench_throughput [--json] [--out path] [--baseline path]
+ *
+ * With --baseline, the run compares each row's rel_cost against the
+ * same row in a previously exported BENCH_hotpath.json and exits 3 if
+ * any regresses by more than FAMSIM_BENCH_TOLERANCE (default 0.20,
+ * i.e. 20 %).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/set_assoc.hh"
+#include "harness/figure_report.hh"
+#include "harness/scenario.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "workload/stream_gen.hh"
+
+using namespace famsim;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Pre-PR (seed) reference numbers, measured on the development host
+ * right before the hot-path overhaul landed, with the same loops this
+ * binary runs. They exist so the exported JSON documents the speedup
+ * the overhaul delivered on like-for-like hardware; on other machines
+ * treat the speedup_vs_seed_* summaries as indicative only (the
+ * rel_cost gate is the portable check).
+ */
+constexpr double kSeedLookupNs[3] = {18.0, 17.6, 33.9}; // LRU/Rand/PLRU
+constexpr double kSeedStreamGenNs = 35.6;
+constexpr double kSeedEventQueueNs = 111.4;
+constexpr double kSeedFig12Seconds = 0.46;
+
+/** Best-of-@p reps wall seconds of @p fn (noise floor for CI hosts). */
+template <typename Fn>
+double
+bestOf(int reps, Fn&& fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = Clock::now();
+        fn();
+        double s = std::chrono::duration<double>(Clock::now() - t0).count();
+        if (r == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+volatile std::uint64_t g_sink = 0;
+
+double
+timeLookup(ReplPolicy policy, std::uint64_t iters)
+{
+    SetAssocCache<std::uint64_t> cache(16384, 4, policy, 1);
+    for (std::uint64_t k = 0; k < 65536; ++k)
+        cache.insert(k, k);
+    return bestOf(7, [&] {
+        Rng rng(42);
+        std::uint64_t sink = 0;
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            std::uint64_t* v = cache.lookup(rng.below(65536));
+            sink += v ? *v : 0;
+        }
+        g_sink = g_sink + sink;
+    });
+}
+
+double
+timeInsertChurn(ReplPolicy policy, std::uint64_t iters)
+{
+    SetAssocCache<std::uint64_t> cache(128, 8, policy, 1);
+    std::uint64_t key = 0;
+    return bestOf(7, [&] {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            ++key;
+            cache.insert(key * 7919, key);
+        }
+        g_sink = g_sink + cache.countValid();
+    });
+}
+
+double
+timeStreamGen(const char* profile, std::uint64_t iters)
+{
+    StreamGen gen(profiles::byName(profile), 0x100000000000ULL, 1, 0);
+    return bestOf(7, [&] {
+        std::uint64_t sink = 0;
+        for (std::uint64_t i = 0; i < iters; ++i)
+            sink += gen.next().vaddr;
+        g_sink = g_sink + sink;
+    });
+}
+
+double
+timeEventQueue(std::uint64_t events)
+{
+    return bestOf(7, [&] {
+        EventQueue q;
+        std::uint64_t executed = 0;
+        // Self-rescheduling chains: every event schedules a successor
+        // until the budget drains, mimicking the simulator's pattern
+        // of components rescheduling themselves.
+        struct Chain {
+            EventQueue& q;
+            std::uint64_t& executed;
+            std::uint64_t budget;
+            void
+            operator()() const
+            {
+                if (++executed < budget)
+                    q.scheduleAfter(7, Chain{q, executed, budget});
+            }
+        };
+        for (int i = 0; i < 64; ++i)
+            q.schedule(static_cast<Tick>(i), Chain{q, executed, events});
+        q.run();
+        g_sink = g_sink + q.executed();
+    });
+}
+
+double
+timeRngDraws(std::uint64_t iters)
+{
+    return bestOf(7, [&] {
+        Rng rng(7);
+        std::uint64_t sink = 0;
+        for (std::uint64_t i = 0; i < iters; ++i)
+            sink += rng.next();
+        g_sink = g_sink + sink;
+    });
+}
+
+double
+timeFig12()
+{
+    const auto& registry = ScenarioRegistry::paper();
+    return bestOf(5, [&] {
+        std::size_t bytes = 0;
+        for (const Scenario* s : registry.byFigure("fig12_performance"))
+            bytes += runScenarioJson(*s).size();
+        g_sink = g_sink + bytes;
+    });
+}
+
+/**
+ * Extract row @p name's values array from a BENCH_hotpath.json dump.
+ * Minimal scan matched to FigureReport::writeJson's fixed layout.
+ */
+bool
+baselineValues(const std::string& json, const std::string& name,
+               std::vector<double>& out)
+{
+    std::string needle = "{\"name\": \"" + name + "\", \"values\": [";
+    std::size_t at = json.find(needle);
+    if (at == std::string::npos)
+        return false;
+    std::size_t start = at + needle.size();
+    std::size_t end = json.find(']', start);
+    if (end == std::string::npos)
+        return false;
+    std::stringstream ss(json.substr(start, end - start));
+    out.clear();
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        out.push_back(std::strtod(tok.c_str(), nullptr));
+    return !out.empty();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // Peel off the flags this bench adds on top of the shared harness.
+    std::string baseline_path;
+    std::vector<char*> pass_argv{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--baseline" && i + 1 < argc)
+            baseline_path = argv[++i];
+        else
+            pass_argv.push_back(argv[i]);
+    }
+    BenchOptions options =
+        parseBenchArgs(static_cast<int>(pass_argv.size()),
+                       pass_argv.data(), /*instr_fallback=*/0);
+
+    FigureReport report(
+        "BENCH_hotpath",
+        "Host throughput: hot-path structures and fig12 wall clock",
+        "path", {"ns_per_op", "mops_per_sec", "rel_cost"});
+
+    const std::uint64_t kIters = 4000000;
+    double calib = timeRngDraws(4 * kIters) / double(4 * kIters);
+
+    auto add = [&](const std::string& name, double seconds,
+                   std::uint64_t ops) {
+        double ns = seconds / static_cast<double>(ops) * 1e9;
+        double mops = static_cast<double>(ops) / seconds / 1e6;
+        report.addRow(name, {ns, mops, ns / (calib * 1e9)});
+        return ns;
+    };
+
+    add("rng.next", calib * double(4 * kIters), 4 * kIters);
+
+    const ReplPolicy kPolicies[] = {ReplPolicy::Lru, ReplPolicy::Random,
+                                    ReplPolicy::TreePlru};
+    const char* kPolicyTag[] = {"lru", "random", "treeplru"};
+    double lookup_ns[3];
+    for (int p = 0; p < 3; ++p) {
+        lookup_ns[p] = add(
+            std::string("set_assoc_lookup.") + kPolicyTag[p],
+            timeLookup(kPolicies[p], kIters), kIters);
+        add(std::string("set_assoc_insert.") + kPolicyTag[p],
+            timeInsertChurn(kPolicies[p], kIters / 2), kIters / 2);
+    }
+
+    double sg_ns = add("stream_gen.mcf", timeStreamGen("mcf", kIters),
+                       kIters);
+    add("stream_gen.sssp", timeStreamGen("sssp", kIters), kIters);
+
+    double eq_ns = add("event_queue.churn", timeEventQueue(kIters),
+                       kIters);
+
+    double fig12_s = timeFig12();
+    // 4 architectures x 60000 instructions per scenario run.
+    add("fig12_scenarios.e2e", fig12_s, 4 * 60000);
+
+    for (int p = 0; p < 3; ++p)
+        report.addSummary(
+            std::string("speedup_vs_seed_lookup_") + kPolicyTag[p],
+            kSeedLookupNs[p] / lookup_ns[p]);
+    report.addSummary("speedup_vs_seed_stream_gen",
+                      kSeedStreamGenNs / sg_ns);
+    report.addSummary("speedup_vs_seed_event_queue",
+                      kSeedEventQueueNs / eq_ns);
+    report.addSummary("speedup_vs_seed_fig12",
+                      kSeedFig12Seconds / fig12_s);
+    report.addSummary("fig12_wall_seconds", fig12_s);
+    report.addMeta("seed_reference",
+                   "pre-overhaul numbers measured on the dev host; see "
+                   "README 'Host-throughput benchmarking'");
+    report.addNote("rel_cost = ns_per_op / ns per raw PCG32 draw on "
+                   "this host; use it for cross-machine comparisons "
+                   "and CI gating.");
+
+    int rc = emitReport(report, options);
+    if (rc != 0 || baseline_path.empty())
+        return rc;
+
+    // --- rel_cost regression gate against a prior export ---
+    std::ifstream in(baseline_path);
+    if (!in) {
+        std::cerr << "bench_throughput: cannot read baseline '"
+                  << baseline_path << "'\n";
+        return 3;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string base_json = buf.str();
+
+    double tolerance = 0.20;
+    if (const char* env = std::getenv("FAMSIM_BENCH_TOLERANCE"))
+        tolerance = std::strtod(env, nullptr);
+
+    std::ostringstream current;
+    report.writeJson(current);
+    std::string cur_json = current.str();
+
+    bool failed = false;
+    for (const char* row :
+         {"set_assoc_lookup.lru", "set_assoc_lookup.random",
+          "set_assoc_lookup.treeplru", "stream_gen.mcf",
+          "event_queue.churn", "fig12_scenarios.e2e"}) {
+        std::vector<double> base, cur;
+        if (!baselineValues(base_json, row, base)) {
+            std::cerr << "bench_throughput: baseline lacks row '" << row
+                      << "' — skipping gate for it\n";
+            continue;
+        }
+        if (!baselineValues(cur_json, row, cur) || base.size() < 3 ||
+            cur.size() < 3)
+            continue;
+        double base_rel = base[2], cur_rel = cur[2];
+        double ratio = cur_rel / base_rel;
+        std::cerr << "gate " << row << ": rel_cost " << cur_rel
+                  << " vs baseline " << base_rel << " (x" << ratio
+                  << ")\n";
+        if (ratio > 1.0 + tolerance) {
+            std::cerr << "bench_throughput: REGRESSION on " << row
+                      << " (allowed +" << tolerance * 100 << "%)\n";
+            failed = true;
+        }
+    }
+    return failed ? 3 : 0;
+}

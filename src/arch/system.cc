@@ -29,12 +29,16 @@ class DirectFamPath : public Component, public MemSink
         pkt->accessGranted = true;
         auto orig = std::move(pkt->onDone);
         pkt->onDone = nullptr;
-        pkt->onDone = [this, pkt, orig = std::move(orig)](Packet&) {
-            fabric_.send(FabricLink::Response, [this, pkt, orig] {
-                sim_.events().scheduleAfter(nodeLink_, [pkt, orig] {
-                    if (orig)
-                        orig(*pkt);
-                });
+        // Move the continuation hop to hop (it runs exactly once);
+        // copying would deep-copy the capture chain per traversal.
+        pkt->onDone = [this, pkt, orig = std::move(orig)](Packet&) mutable {
+            fabric_.send(FabricLink::Response,
+                         [this, pkt, orig = std::move(orig)]() mutable {
+                sim_.events().scheduleAfter(
+                    nodeLink_, [pkt, orig = std::move(orig)] {
+                        if (orig)
+                            orig(*pkt);
+                    });
             });
         };
         sim_.events().scheduleAfter(nodeLink_, [this, pkt] {

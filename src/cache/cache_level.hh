@@ -12,11 +12,11 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/set_assoc.hh"
 #include "mem/mem_sink.hh"
+#include "sim/flat_map.hh"
 #include "sim/simulation.hh"
 
 namespace famsim {
@@ -68,7 +68,7 @@ class CacheLevel : public Component, public MemSink
     MemSink& next_;
     SetAssocCache<LineMeta> tags_;
     /** Outstanding misses: block -> waiting packets. */
-    std::unordered_map<std::uint64_t, std::vector<PktPtr>> mshrs_;
+    U64FlatMap<std::vector<PktPtr>> mshrs_;
 
     Counter& hits_;
     Counter& misses_;

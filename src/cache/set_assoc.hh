@@ -5,11 +5,22 @@
  * Used by the data caches, the TLBs, the PTW caches, the STU cache
  * organizations and the in-DRAM FAM translation cache — everything in
  * the paper that behaves like "a set-associative array of (tag, value)".
+ *
+ * Layout: structure-of-arrays. Tags live in one contiguous per-set
+ * array probed with a branchless compare-into-bitmask loop, validity is
+ * one bitmask word per set, and replacement metadata is split out per
+ * policy (LRU timestamps only exist for LRU caches, MRU bitmasks only
+ * for TreePLRU, Random keeps none). Replacement decisions and the RNG
+ * draw order are identical to the original array-of-structs store —
+ * see DESIGN.md "SoA tag store" for the equivalence argument that keeps
+ * the golden files stable.
  */
 
 #ifndef FAMSIM_CACHE_SET_ASSOC_HH
 #define FAMSIM_CACHE_SET_ASSOC_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -60,8 +71,20 @@ class SetAssocCache
         : sets_(sets),
           ways_(ways),
           policy_(policy),
-          lines_(sets * ways),
-          plruBits_(policy == ReplPolicy::TreePlru ? sets * ways : 0, 0),
+          setsPow2_(sets > 0 && (sets & (sets - 1)) == 0),
+          setShift_(setsPow2_
+                        ? static_cast<unsigned>(std::countr_zero(sets))
+                        : 0),
+          maskWords_(ways ? (ways + 63) / 64 : 1),
+          lastWordMask_(ways % 64 ? (std::uint64_t{1} << (ways % 64)) - 1
+                                  : ~std::uint64_t{0}),
+          sentinelTags_(sets >= 2),
+          tags_(sets * ways, kInvalidTag),
+          values_(sets * ways),
+          valid_(sets * maskWords_, 0),
+          lastUse_(policy == ReplPolicy::Lru ? sets * ways : 0, 0),
+          mruBits_(policy == ReplPolicy::TreePlru ? sets * maskWords_ : 0,
+                   0),
           rng_(seed, 0x5e77)
     {
         FAMSIM_ASSERT(sets_ > 0 && ways_ > 0,
@@ -72,19 +95,26 @@ class SetAssocCache
     V*
     lookup(std::uint64_t key)
     {
-        Line* line = find(key);
-        if (!line)
+        std::size_t set = setIndex(key);
+        // Overlap the payload (and LRU stamp) line fills with the tag
+        // probe — they live in separate arrays in the SoA layout.
+        __builtin_prefetch(&values_[set * ways_]);
+        if (policy_ == ReplPolicy::Lru)
+            __builtin_prefetch(&lastUse_[set * ways_], 1);
+        std::size_t way = findWay(set, tagOf(key));
+        if (way == kMiss)
             return nullptr;
-        touch(key, line);
-        return &line->value;
+        touch(set, way);
+        return &values_[set * ways_ + way];
     }
 
     /** Look up without updating replacement state. */
     const V*
     probe(std::uint64_t key) const
     {
-        const Line* line = find(key);
-        return line ? &line->value : nullptr;
+        std::size_t set = setIndex(key);
+        std::size_t way = findWay(set, tagOf(key));
+        return way == kMiss ? nullptr : &values_[set * ways_ + way];
     }
 
     /**
@@ -95,27 +125,36 @@ class SetAssocCache
     insert(std::uint64_t key, V value)
     {
         std::size_t set = setIndex(key);
-        std::uint64_t tag = key / sets_;
-        Line* free_line = nullptr;
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Line& line = lines_[set * ways_ + w];
-            if (line.valid && line.tag == tag) {
-                line.value = std::move(value);
-                touch(key, &line);
-                return std::nullopt;
-            }
-            if (!line.valid && !free_line)
-                free_line = &line;
+        std::uint64_t tag = tagOf(key);
+        std::size_t base = set * ways_;
+        std::size_t way = findWay(set, tag);
+        if (way != kMiss) {
+            values_[base + way] = std::move(value);
+            touch(set, way);
+            return std::nullopt;
         }
-        Line* victim = free_line ? free_line : pickVictim(set);
+        // The first invalid way (in way order) is filled before any
+        // replacement decision — same priority as the AoS store.
+        way = kMiss;
+        for (std::size_t c = 0; c < maskWords_ && way == kMiss; ++c) {
+            std::uint64_t free =
+                ~valid_[set * maskWords_ + c] & wordMask(c);
+            if (free)
+                way = c * 64 +
+                      static_cast<std::size_t>(std::countr_zero(free));
+        }
+        bool had_free = way != kMiss;
+        if (!had_free)
+            way = pickVictim(set);
         std::optional<Evicted> evicted;
-        if (victim->valid)
-            evicted = Evicted{victim->tag * sets_ + set,
-                              std::move(victim->value)};
-        victim->valid = true;
-        victim->tag = tag;
-        victim->value = std::move(value);
-        touch(key, victim);
+        if (!had_free)
+            evicted = Evicted{tags_[base + way] * sets_ + set,
+                              std::move(values_[base + way])};
+        valid_[set * maskWords_ + way / 64] |= std::uint64_t{1}
+                                               << (way % 64);
+        tags_[base + way] = tag;
+        values_[base + way] = std::move(value);
+        touch(set, way);
         return evicted;
     }
 
@@ -123,10 +162,11 @@ class SetAssocCache
     bool
     invalidate(std::uint64_t key)
     {
-        Line* line = find(key);
-        if (!line)
+        std::size_t set = setIndex(key);
+        std::size_t way = findWay(set, tagOf(key));
+        if (way == kMiss)
             return false;
-        invalidateLine(*line);
+        invalidateWay(set, way);
         return true;
     }
 
@@ -134,8 +174,14 @@ class SetAssocCache
     void
     invalidateAll()
     {
-        for (auto& line : lines_)
-            invalidateLine(line);
+        for (auto& word : valid_)
+            word = 0;
+        for (auto& tag : tags_)
+            tag = kInvalidTag;
+        for (auto& stamp : lastUse_)
+            stamp = 0;
+        for (auto& bits : mruBits_)
+            bits = 0;
     }
 
     /** Invalidate entries whose value matches @p pred. @return count. */
@@ -144,22 +190,25 @@ class SetAssocCache
     invalidateIf(Pred pred)
     {
         std::size_t count = 0;
-        for (auto& line : lines_) {
-            if (line.valid && pred(line.value)) {
-                invalidateLine(line);
-                ++count;
+        for (std::size_t set = 0; set < sets_; ++set) {
+            for (std::size_t w = 0; w < ways_; ++w) {
+                if ((valid_[set * maskWords_ + w / 64] >> (w % 64)) & 1 &&
+                    pred(values_[set * ways_ + w])) {
+                    invalidateWay(set, w);
+                    ++count;
+                }
             }
         }
         return count;
     }
 
-    /** Number of valid entries (linear scan; for tests/stats). */
+    /** Number of valid entries (bitmask popcount; for tests/stats). */
     [[nodiscard]] std::size_t
     countValid() const
     {
         std::size_t n = 0;
-        for (const auto& line : lines_)
-            n += line.valid ? 1 : 0;
+        for (std::uint64_t bits : valid_)
+            n += static_cast<std::size_t>(std::popcount(bits));
         return n;
     }
 
@@ -169,96 +218,135 @@ class SetAssocCache
     [[nodiscard]] ReplPolicy policy() const { return policy_; }
 
   private:
-    struct Line {
-        bool valid = false;
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        V value{};
-    };
+    static constexpr std::size_t kMiss = ~std::size_t{0};
+    /** Tag stored in invalid ways (unreachable when sets >= 2). */
+    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
 
-    [[nodiscard]] std::size_t setIndex(std::uint64_t key) const
+    [[nodiscard]] std::size_t
+    setIndex(std::uint64_t key) const
     {
+        if (setsPow2_)
+            return static_cast<std::size_t>(key & (sets_ - 1));
         return static_cast<std::size_t>(key % sets_);
     }
 
-    Line*
-    find(std::uint64_t key)
+    [[nodiscard]] std::uint64_t
+    tagOf(std::uint64_t key) const
     {
-        std::size_t set = setIndex(key);
-        std::uint64_t tag = key / sets_;
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Line& line = lines_[set * ways_ + w];
-            if (line.valid && line.tag == tag)
-                return &line;
-        }
-        return nullptr;
+        return setsPow2_ ? key >> setShift_ : key / sets_;
     }
 
-    const Line*
-    find(std::uint64_t key) const
+    /** Mask of in-range way bits for mask word @p word. */
+    [[nodiscard]] std::uint64_t
+    wordMask(std::size_t word) const
     {
-        return const_cast<SetAssocCache*>(this)->find(key);
+        return word + 1 == maskWords_ ? lastWordMask_ : ~std::uint64_t{0};
     }
 
     /**
-     * Drop a line and its replacement state. A stale MRU bit (or
+     * Probe one set for @p tag. The compare loop accumulates a match
+     * bitmask over all ways without branching, so the compiler can
+     * unroll/vectorize it; at most one bit survives. With >= 2 sets
+     * the tag of a valid line is key / sets < kInvalidTag, so invalid
+     * ways hold the sentinel and the probe needs no separate validity
+     * word (one less cache line per lookup). A single-set cache could
+     * legitimately store tag kInvalidTag (tag == key), so it keeps
+     * masking with the valid word instead. Masks are one or more
+     * 64-bit words per set (maskWords_ is 1 for every configuration
+     * with <= 64 ways; DeACT-N's pairsPerWay expansion can exceed it).
+     */
+    [[nodiscard]] std::size_t
+    findWay(std::size_t set, std::uint64_t tag) const
+    {
+        const std::uint64_t* tags = tags_.data() + set * ways_;
+        for (std::size_t c = 0; c < maskWords_; ++c) {
+            std::size_t begin = c * 64;
+            std::size_t end = std::min(ways_, begin + 64);
+            std::uint64_t match = 0;
+            for (std::size_t w = begin; w < end; ++w)
+                match |= static_cast<std::uint64_t>(tags[w] == tag)
+                         << (w - begin);
+            if (!sentinelTags_)
+                match &= valid_[set * maskWords_ + c];
+            if (match)
+                return begin + static_cast<std::size_t>(
+                                   std::countr_zero(match));
+        }
+        return kMiss;
+    }
+
+    /**
+     * Drop a way and its replacement state. A stale MRU bit (or
      * lastUse stamp) left behind by an invalidation storm — e.g. the
      * TLB shootdowns after a job migration — would keep protecting the
      * way from eviction and bias victim selection long after refill.
      */
     void
-    invalidateLine(Line& line)
+    invalidateWay(std::size_t set, std::size_t way)
     {
-        line.valid = false;
-        line.lastUse = 0;
-        if (policy_ == ReplPolicy::TreePlru)
-            plruBits_[static_cast<std::size_t>(&line - lines_.data())] = 0;
+        std::uint64_t bit = std::uint64_t{1} << (way % 64);
+        valid_[set * maskWords_ + way / 64] &= ~bit;
+        tags_[set * ways_ + way] = kInvalidTag;
+        if (policy_ == ReplPolicy::Lru)
+            lastUse_[set * ways_ + way] = 0;
+        else if (policy_ == ReplPolicy::TreePlru)
+            mruBits_[set * maskWords_ + way / 64] &= ~bit;
     }
 
     void
-    touch(std::uint64_t key, Line* line)
+    touch(std::size_t set, std::size_t way)
     {
-        line->lastUse = ++useClock_;
-        if (policy_ == ReplPolicy::TreePlru) {
+        switch (policy_) {
+          case ReplPolicy::Lru:
+            lastUse_[set * ways_ + way] = ++useClock_;
+            break;
+          case ReplPolicy::TreePlru: {
             // Mark the accessed way as most recently used by setting
-            // its bit; victims are chosen among zero bits.
-            std::size_t set = setIndex(key);
-            std::size_t w = static_cast<std::size_t>(line -
-                                                     &lines_[set * ways_]);
-            auto* bits = &plruBits_[set * ways_];
-            bits[w] = 1;
-            // If all bits set, clear all but the current one.
+            // its bit; victims are chosen among zero bits. When every
+            // way's bit is set, keep only the current one — mask-word
+            // compares instead of the old all-ways scan.
+            std::uint64_t* words = mruBits_.data() + set * maskWords_;
+            words[way / 64] |= std::uint64_t{1} << (way % 64);
             bool all = true;
-            for (std::size_t i = 0; i < ways_; ++i)
-                all = all && bits[i];
+            for (std::size_t c = 0; c < maskWords_; ++c)
+                all = all && words[c] == wordMask(c);
             if (all) {
-                for (std::size_t i = 0; i < ways_; ++i)
-                    bits[i] = (i == w) ? 1 : 0;
+                for (std::size_t c = 0; c < maskWords_; ++c)
+                    words[c] = 0;
+                words[way / 64] = std::uint64_t{1} << (way % 64);
             }
+            break;
+          }
+          case ReplPolicy::Random:
+            break;
         }
     }
 
-    Line*
+    [[nodiscard]] std::size_t
     pickVictim(std::size_t set)
     {
-        Line* base = &lines_[set * ways_];
         switch (policy_) {
           case ReplPolicy::Random:
-            return base + rng_.below(static_cast<std::uint32_t>(ways_));
+            return rng_.below(static_cast<std::uint32_t>(ways_));
           case ReplPolicy::TreePlru: {
-            auto* bits = &plruBits_[set * ways_];
-            for (std::size_t w = 0; w < ways_; ++w) {
-                if (!bits[w])
-                    return base + w;
+            // First zero MRU bit; all-set is transient (touch()
+            // resets it) — fall back to way 0.
+            const std::uint64_t* words = mruBits_.data() + set * maskWords_;
+            for (std::size_t c = 0; c < maskWords_; ++c) {
+                std::uint64_t zeros = ~words[c] & wordMask(c);
+                if (zeros)
+                    return c * 64 + static_cast<std::size_t>(
+                                        std::countr_zero(zeros));
             }
-            return base; // all bits set (transient); fall back to way 0
+            return 0;
           }
           case ReplPolicy::Lru:
           default: {
-            Line* victim = base;
+            const std::uint64_t* stamps = lastUse_.data() + set * ways_;
+            std::size_t victim = 0;
             for (std::size_t w = 1; w < ways_; ++w) {
-                if (base[w].lastUse < victim->lastUse)
-                    victim = base + w;
+                if (stamps[w] < stamps[victim])
+                    victim = w;
             }
             return victim;
           }
@@ -268,8 +356,24 @@ class SetAssocCache
     std::size_t sets_;
     std::size_t ways_;
     ReplPolicy policy_;
-    std::vector<Line> lines_;
-    std::vector<std::uint8_t> plruBits_;
+    bool setsPow2_;
+    unsigned setShift_;
+    /** 64-bit mask words per set (1 unless ways > 64). */
+    std::size_t maskWords_;
+    /** In-range way bits of the final mask word. */
+    std::uint64_t lastWordMask_;
+    /** Invalid ways hold kInvalidTag, so probes skip the valid word. */
+    bool sentinelTags_;
+    /** Per-line tag words, set-major ([set * ways + way]). */
+    std::vector<std::uint64_t> tags_;
+    /** Per-line payloads, same indexing as tags_. */
+    std::vector<V> values_;
+    /** One validity bitmask word per set (bit w = way w valid). */
+    std::vector<std::uint64_t> valid_;
+    /** LRU only: per-line recency stamps. */
+    std::vector<std::uint64_t> lastUse_;
+    /** TreePLRU only: one MRU bitmask word per set. */
+    std::vector<std::uint64_t> mruBits_;
     std::uint64_t useClock_ = 0;
     Rng rng_;
 };

@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/set_assoc.hh"
+#include "sim/flat_map.hh"
 #include "mem/banked_memory.hh"
 #include "mem/mem_sink.hh"
 #include "sim/simulation.hh"
@@ -101,7 +101,7 @@ class FamTranslator : public Component, public MemSink
     SetAssocCache<std::uint64_t> cache_;
 
     /** Misses coalesced per NPA page, waiting for the STU's mapping. */
-    std::unordered_map<std::uint64_t, std::vector<PktPtr>> pending_;
+    U64FlatMap<std::vector<PktPtr>> pending_;
 
     /** Outstanding mapping list occupancy + stall queue. */
     unsigned outstanding_ = 0;

@@ -15,16 +15,15 @@ FabricLink::FabricLink(Simulation& sim, const std::string& name,
 {
 }
 
-void
-FabricLink::send(Channel channel, std::function<void()> deliver)
+Tick
+FabricLink::departure(Channel channel)
 {
-    FAMSIM_ASSERT(deliver, "fabric delivery callback must be non-null");
     Tick now = sim_.curTick();
     Tick start = std::max(now, channelFree_[channel]);
     channelFree_[channel] = start + params_.serialization;
     ++packets_;
     queueing_.sample((start - now) / kNanosecond);
-    sim_.events().schedule(start + params_.latency, std::move(deliver));
+    return start + params_.latency;
 }
 
 } // namespace famsim

@@ -41,14 +41,28 @@ class FabricLink : public Component
     /**
      * Transmit one packet-worth of data on @p channel; @p deliver runs
      * when it reaches the far end. Queueing delay due to serialization
-     * is applied before propagation.
+     * is applied before propagation. Templated so big completion
+     * captures go straight into the event queue's pooled slots instead
+     * of through a heap-allocating std::function.
      */
-    void send(Channel channel, std::function<void()> deliver);
+    template <typename F>
+    void
+    send(Channel channel, F&& deliver)
+    {
+        if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>)
+            FAMSIM_ASSERT(static_cast<bool>(deliver),
+                          "fabric delivery callback must be non-null");
+        sim_.events().schedule(departure(channel),
+                               std::forward<F>(deliver));
+    }
 
     [[nodiscard]] Tick latency() const { return params_.latency; }
     [[nodiscard]] const FabricParams& params() const { return params_; }
 
   private:
+    /** Account one transmission; @return the delivery tick. */
+    [[nodiscard]] Tick departure(Channel channel);
+
     FabricParams params_;
     std::array<Tick, 2> channelFree_{0, 0};
     Counter& packets_;

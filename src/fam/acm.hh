@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+
+#include "sim/flat_map.hh"
 #include <unordered_set>
 #include <vector>
 
@@ -174,7 +176,8 @@ class AcmStore
 
   private:
     unsigned acmBits_;
-    std::unordered_map<std::uint64_t, AcmEntry> entries_;
+    /** fam_page -> entry; flat map: one cache line per lookup. */
+    U64FlatMap<AcmEntry> entries_;
     /** region -> (node -> 2-bit perms); presence == bitmap bit set. */
     std::unordered_map<std::uint64_t,
                        std::unordered_map<NodeId, std::uint8_t>>

@@ -1,8 +1,63 @@
 #include "mem/packet.hh"
 
-#include <atomic>
+#include <vector>
 
 namespace famsim {
+
+namespace {
+
+/** Cleared when the pool is torn down at exit, so any packet that
+ *  outlives it is deleted instead of pushed into a dead vector. */
+bool packetPoolAlive = false;
+
+/**
+ * Recycling pool for Packet objects. Packets are the highest-frequency
+ * allocation in the simulator — one per cache fill, walk step,
+ * writeback and FAM request — and they churn, so a free list serves
+ * nearly every makePacket() without touching the heap. Single-threaded
+ * by design (the deterministic event queue), hence no locking.
+ */
+struct PacketPool {
+    std::vector<Packet*> free;
+    PacketPool() { packetPoolAlive = true; }
+    ~PacketPool()
+    {
+        packetPoolAlive = false;
+        for (Packet* pkt : free)
+            delete pkt;
+    }
+};
+
+PacketPool&
+packetPool()
+{
+    static PacketPool pool;
+    return pool;
+}
+
+} // namespace
+
+namespace detail {
+
+void
+recyclePacket(Packet* pkt) noexcept
+{
+    // Clearing onDone first releases captured PktPtrs; those releases
+    // may recycle further packets (the pool tolerates reentrant
+    // pushes). The remaining fields are reset in makePacket.
+    pkt->onDone = nullptr;
+    if (!packetPoolAlive) {
+        delete pkt;
+        return;
+    }
+    try {
+        packetPool().free.push_back(pkt);
+    } catch (...) {
+        delete pkt;
+    }
+}
+
+} // namespace detail
 
 const char*
 toString(PacketKind kind)
@@ -21,15 +76,32 @@ toString(PacketKind kind)
 PktPtr
 makePacket(NodeId node, CoreId core, MemOp op, PacketKind kind)
 {
-    static std::atomic<std::uint64_t> next_id{1};
-    auto pkt = std::make_shared<Packet>();
-    pkt->id = next_id.fetch_add(1, std::memory_order_relaxed);
+    static std::uint64_t next_id = 1;
+    auto& pool = packetPool().free;
+    Packet* pkt;
+    if (pool.empty()) {
+        pkt = new Packet();
+    } else {
+        pkt = pool.back();
+        pool.pop_back();
+        // Reset to a freshly-constructed state (onDone was already
+        // cleared on recycle; the refcount is zero by construction).
+        pkt->vaddr = VAddr{};
+        pkt->npa = NPAddr{};
+        pkt->fam = FamAddr{};
+        pkt->hasFam = false;
+        pkt->verified = false;
+        pkt->accessGranted = false;
+        pkt->writeback = false;
+        pkt->issued = 0;
+    }
+    pkt->id = next_id++;
     pkt->node = node;
     pkt->logicalNode = node;
     pkt->core = core;
     pkt->op = op;
     pkt->kind = kind;
-    return pkt;
+    return PktPtr(pkt);
 }
 
 } // namespace famsim

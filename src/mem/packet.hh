@@ -14,9 +14,9 @@
 #define FAMSIM_MEM_PACKET_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace famsim {
@@ -48,7 +48,7 @@ isTranslationKind(PacketKind kind)
 [[nodiscard]] const char* toString(PacketKind kind);
 
 struct Packet;
-using PktPtr = std::shared_ptr<Packet>;
+class PktPtr;
 
 /** One in-flight memory access. */
 struct Packet {
@@ -92,8 +92,14 @@ struct Packet {
     /** Tick the packet was created (for latency histograms). */
     Tick issued = 0;
 
-    /** Completion callback, invoked exactly once when the access ends. */
-    std::function<void(Packet&)> onDone;
+    /**
+     * Completion callback, invoked exactly once when the access ends.
+     * Inline storage holds the pipeline's plain captures (component
+     * pointers, PktPtrs, the walker's step-list continuation) without
+     * allocating; response-path wraps that capture the previous
+     * callback take one heap block per wrap (see inline_function.hh).
+     */
+    InlineFunction<void(Packet&)> onDone;
 
     /** @return true if this packet is AT traffic. */
     [[nodiscard]] bool isTranslation() const
@@ -113,6 +119,118 @@ struct Packet {
             cb(*this);
         }
     }
+
+  private:
+    friend class PktPtr;
+    /**
+     * Intrusive reference count. The simulation is single-threaded by
+     * design (one deterministic event queue), so the count is a plain
+     * integer — no atomics, unlike the former std::shared_ptr<Packet>,
+     * whose lock-prefixed ref traffic on every capture/copy was a
+     * measurable slice of the event loop.
+     */
+    std::uint32_t refs_ = 0;
+};
+
+namespace detail {
+/** Return a zero-ref packet to the recycling pool (packet.cc). */
+void recyclePacket(Packet* pkt) noexcept;
+} // namespace detail
+
+/**
+ * Intrusive refcounted handle to a pooled Packet. Drop-in for the old
+ * shared_ptr<Packet> at every call site (copy/move/deref/bool); when
+ * the last handle dies the packet returns to the pool in packet.cc
+ * rather than to the heap.
+ */
+class PktPtr
+{
+  public:
+    PktPtr() = default;
+    PktPtr(std::nullptr_t) {}
+
+    /** Adopt a pool-fresh packet (refcount must be zero). */
+    explicit PktPtr(Packet* pkt) : pkt_(pkt)
+    {
+        if (pkt_)
+            ++pkt_->refs_;
+    }
+
+    PktPtr(const PktPtr& other) : pkt_(other.pkt_)
+    {
+        if (pkt_)
+            ++pkt_->refs_;
+    }
+
+    PktPtr(PktPtr&& other) noexcept : pkt_(other.pkt_)
+    {
+        other.pkt_ = nullptr;
+    }
+
+    PktPtr&
+    operator=(const PktPtr& other)
+    {
+        PktPtr copy(other);
+        swap(copy);
+        return *this;
+    }
+
+    PktPtr&
+    operator=(PktPtr&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            pkt_ = other.pkt_;
+            other.pkt_ = nullptr;
+        }
+        return *this;
+    }
+
+    PktPtr&
+    operator=(std::nullptr_t)
+    {
+        release();
+        return *this;
+    }
+
+    ~PktPtr() { release(); }
+
+    void
+    swap(PktPtr& other) noexcept
+    {
+        Packet* tmp = pkt_;
+        pkt_ = other.pkt_;
+        other.pkt_ = tmp;
+    }
+
+    void reset() { release(); }
+
+    [[nodiscard]] Packet* get() const { return pkt_; }
+    [[nodiscard]] Packet& operator*() const { return *pkt_; }
+    [[nodiscard]] Packet* operator->() const { return pkt_; }
+    [[nodiscard]] explicit operator bool() const { return pkt_ != nullptr; }
+
+    friend bool
+    operator==(const PktPtr& a, const PktPtr& b)
+    {
+        return a.pkt_ == b.pkt_;
+    }
+    friend bool
+    operator==(const PktPtr& a, std::nullptr_t)
+    {
+        return a.pkt_ == nullptr;
+    }
+
+  private:
+    void
+    release()
+    {
+        if (pkt_ && --pkt_->refs_ == 0)
+            detail::recyclePacket(pkt_);
+        pkt_ = nullptr;
+    }
+
+    Packet* pkt_ = nullptr;
 };
 
 /** Create a packet with a fresh id. */

@@ -1,38 +1,72 @@
 #include "sim/event_queue.hh"
 
-#include <utility>
-
-#include "sim/logging.hh"
+#include <algorithm>
 
 namespace famsim {
 
 void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::pushHeap(HeapEntry entry)
 {
-    FAMSIM_ASSERT(when >= now_, "event scheduled in the past: ", when,
-                  " < ", now_);
-    FAMSIM_ASSERT(cb, "null event callback");
-    queue_.push(Entry{when, seq_++, std::move(cb)});
+    // Hole-based sift-up: parent of i is (i-1)/4.
+    std::size_t i = heap_.size();
+    heap_.push_back(entry); // grow; the slot is overwritten below
+    while (i > 0) {
+        std::size_t parent = (i - 1) >> 2;
+        if (!earlier(entry, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = entry;
 }
 
 void
-EventQueue::scheduleAfter(Tick delta, Callback cb)
+EventQueue::popHeap()
 {
-    schedule(now_ + delta, std::move(cb));
+    HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty())
+        return;
+    // Hole-based sift-down from the root: children of i are
+    // 4i+1 .. 4i+4 — the four 16-byte entries of one level share
+    // a single 64-byte cache line.
+    std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+        std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        std::size_t end = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (earlier(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!earlier(heap_[best], last))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = last;
 }
 
 bool
 EventQueue::runOne()
 {
-    if (queue_.empty())
+    if (heap_.empty())
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately and never re-inspect the entry.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    now_ = entry.when;
+    HeapEntry top = heap_.front();
+    popHeap();
+    now_ = top.when;
     ++executed_;
-    entry.cb();
+    auto slot_idx = static_cast<std::uint32_t>(top.seqSlot & kSlotMask);
+    Slot& slot = slots_[slot_idx];
+    auto invoke = slot.invoke;
+    slot.invoke = nullptr;
+    slot.destroy = nullptr;
+    // The thunk moves the callable out, recycles the slot, then runs
+    // it — see the thunk comment in the header.
+    invoke(*this, slot_idx);
     return true;
 }
 
@@ -40,7 +74,7 @@ std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t count = 0;
-    while (!queue_.empty() && queue_.top().when <= limit) {
+    while (!heap_.empty() && heap_.front().when <= limit) {
         runOne();
         ++count;
     }
@@ -52,6 +86,17 @@ EventQueue::run(Tick limit)
     if (limit != kForever && now_ < limit)
         now_ = limit;
     return count;
+}
+
+void
+EventQueue::destroyPending()
+{
+    for (const HeapEntry& entry : heap_) {
+        Slot& slot = slots_[entry.seqSlot & kSlotMask];
+        if (slot.destroy)
+            slot.destroy(slot);
+    }
+    heap_.clear();
 }
 
 } // namespace famsim

@@ -7,12 +7,20 @@
  * random replacement) each own an Rng seeded from the simulation seed
  * plus a stream id, so adding a component never perturbs another
  * component's stream.
+ *
+ * Reproducibility contract: every helper here consumes the underlying
+ * PCG stream in a fixed, documented pattern and returns the same value
+ * for the same draws. The fast paths (power-of-two masks, Lemire
+ * fastmod in FastBound32) are strength reductions of the portable
+ * expressions, not new algorithms — golden files depend on that.
  */
 
 #ifndef FAMSIM_SIM_RNG_HH
 #define FAMSIM_SIM_RNG_HH
 
 #include <cstdint>
+
+#include "sim/logging.hh"
 
 namespace famsim {
 
@@ -53,6 +61,13 @@ class Rng
     std::uint32_t
     below(std::uint32_t bound)
     {
+        FAMSIM_ASSERT(bound > 0, "Rng::below with zero bound");
+        // Power-of-two bounds take one draw with threshold 0 under the
+        // debiased-modulo scheme below, and r % bound == r & (bound-1),
+        // so the mask returns the identical value from the identical
+        // single draw — just without the division.
+        if ((bound & (bound - 1)) == 0)
+            return next() & (bound - 1);
         // Debiased modulo (Lemire-style rejection).
         std::uint32_t threshold = (-bound) % bound;
         for (;;) {
@@ -62,12 +77,17 @@ class Rng
         }
     }
 
-    /** Uniform 64-bit value in [0, bound). */
+    /** Uniform 64-bit value in [0, bound). @p bound must be nonzero. */
     std::uint64_t
     below64(std::uint64_t bound)
     {
+        FAMSIM_ASSERT(bound > 0, "Rng::below64 with zero bound");
         if (bound <= 0xffffffffULL)
             return below(static_cast<std::uint32_t>(bound));
+        // Same single-draw equivalence as below(): for power-of-two
+        // bounds the rejection threshold (-bound) % bound is zero.
+        if ((bound & (bound - 1)) == 0)
+            return next64() & (bound - 1);
         // Rejection over the top 64-bit range.
         std::uint64_t threshold = (-bound) % bound;
         for (;;) {
@@ -94,6 +114,65 @@ class Rng
   private:
     std::uint64_t state_;
     std::uint64_t inc_;
+};
+
+/**
+ * Precomputed sampler for repeated Rng::below(bound) calls with a
+ * fixed 32-bit bound: the rejection threshold and a Lemire fastmod
+ * magic are computed once, so the hot path has no division at all.
+ *
+ * sample() consumes the PCG stream exactly like Rng::below(bound) and
+ * returns bit-identical values — the fastmod identity
+ * r % d == mulhi64(r * ceil(2^64/d), d) is exact for all 32-bit r, d
+ * (Lemire & Kaser, "Faster remainders when the divisor is a constant").
+ */
+class FastBound32
+{
+  public:
+    explicit FastBound32(std::uint32_t bound)
+        : bound_(bound),
+          mask_(bound - 1),
+          pow2_(bound != 0 && (bound & (bound - 1)) == 0)
+    {
+        // Divisions must come after the zero check, not in the member
+        // initializers — a zero bound must panic, not SIGFPE.
+        FAMSIM_ASSERT(bound > 0, "FastBound32 with zero bound");
+        threshold_ = (0u - bound) % bound;
+        magic_ = 0xffffffffffffffffULL / bound + 1;
+    }
+
+    /** Uniform value in [0, bound), same draws as Rng::below(bound). */
+    std::uint32_t
+    sample(Rng& rng) const
+    {
+        if (pow2_)
+            return rng.next() & mask_;
+        for (;;) {
+            std::uint32_t r = rng.next();
+            if (r >= threshold_)
+                return mod(r);
+        }
+    }
+
+    /** Exact r % bound without a division. */
+    [[nodiscard]] std::uint32_t
+    mod(std::uint32_t r) const
+    {
+        if (pow2_)
+            return r & mask_;
+        std::uint64_t lowbits = magic_ * r;
+        return static_cast<std::uint32_t>(
+            (static_cast<unsigned __int128>(lowbits) * bound_) >> 64);
+    }
+
+    [[nodiscard]] std::uint32_t bound() const { return bound_; }
+
+  private:
+    std::uint32_t bound_;
+    std::uint32_t mask_;
+    bool pow2_;
+    std::uint32_t threshold_ = 0;
+    std::uint64_t magic_ = 0;
 };
 
 } // namespace famsim

@@ -245,7 +245,7 @@ Stu::startWalk(const PktPtr& pkt, WalkDone done)
 
 void
 Stu::walkStep(const PktPtr& pkt, std::uint64_t npa_page,
-              std::vector<HierarchicalPageTable::WalkStep> steps,
+              HierarchicalPageTable::StepList steps,
               std::size_t index, WalkDone done)
 {
     if (index >= steps.size()) {
@@ -374,10 +374,17 @@ Stu::forwardToFam(const PktPtr& pkt)
     // The wrapper holds the PktPtr so the packet stays alive through
     // the response's trip back over the fabric. The self-reference is
     // broken when Packet::complete() moves the callback out.
-    pkt->onDone = [this, pkt, orig = std::move(orig), tracked](Packet&) {
-        fabric_.send(FabricLink::Response, [this, pkt, orig, tracked] {
+    // Each hop moves the wrapped continuation along (the callback runs
+    // exactly once) — copying it would deep-copy the whole capture
+    // chain at every fabric traversal.
+    pkt->onDone = [this, pkt, orig = std::move(orig),
+                   tracked](Packet&) mutable {
+        fabric_.send(FabricLink::Response,
+                     [this, pkt, orig = std::move(orig),
+                      tracked]() mutable {
             sim_.events().scheduleAfter(
-                params_.nodeLinkLatency, [this, pkt, orig, tracked] {
+                params_.nodeLinkLatency,
+                [this, pkt, orig = std::move(orig), tracked] {
                     if (tracked) {
                         FAMSIM_ASSERT(outstanding_ > 0,
                                       "outstanding underflow");
@@ -406,8 +413,9 @@ Stu::sendFamAccess(const PktPtr& origin, FamAddr addr, MemOp op,
     pkt->fam = addr;
     pkt->hasFam = true;
     pkt->issued = sim_.curTick();
-    pkt->onDone = [this, done = std::move(done)](Packet&) {
-        fabric_.send(FabricLink::Response, [done] { done(); });
+    pkt->onDone = [this, done = std::move(done)](Packet&) mutable {
+        fabric_.send(FabricLink::Response,
+                     [done = std::move(done)] { done(); });
     };
     fabric_.send(FabricLink::Request,
                  [this, pkt] { media_.access(pkt); });

@@ -30,10 +30,10 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/set_assoc.hh"
+#include "sim/flat_map.hh"
 #include "fabric/fabric_link.hh"
 #include "fam/acm.hh"
 #include "fam/broker.hh"
@@ -142,7 +142,7 @@ class Stu : public Component
     using WalkDone = std::function<void(std::uint64_t fam_page)>;
     void startWalk(const PktPtr& pkt, WalkDone done);
     void walkStep(const PktPtr& pkt, std::uint64_t npa_page,
-                  std::vector<HierarchicalPageTable::WalkStep> steps,
+                  HierarchicalPageTable::StepList steps,
                   std::size_t index, WalkDone done);
     void finishWalk(const PktPtr& pkt, std::uint64_t npa_page,
                     std::optional<HierarchicalPageTable::Leaf> leaf,
@@ -187,7 +187,7 @@ class Stu : public Component
     PtwCache famPtwCache_;
 
     /** Outstanding walks merged per NPA page. */
-    std::unordered_map<std::uint64_t, std::vector<PktPtr>> walkMshrs_;
+    U64FlatMap<std::vector<PktPtr>> walkMshrs_;
 
     /** I-FAM outstanding-mapping-list occupancy + stall queue. */
     unsigned outstanding_ = 0;

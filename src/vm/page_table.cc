@@ -19,16 +19,21 @@ HierarchicalPageTable::descend(std::uint64_t key_page, bool create)
     Table* table = root_.get();
     for (unsigned level = 0; level + 1 < kLevels; ++level) {
         unsigned idx = levelIndex(key_page, level);
-        auto it = table->children.find(idx);
-        if (it == table->children.end()) {
+        if (!table->children) {
             if (!create)
                 return nullptr;
-            auto child = std::make_unique<Table>();
-            child->base = alloc_();
-            ++tablePages_;
-            it = table->children.emplace(idx, std::move(child)).first;
+            table->children =
+                std::make_unique<std::unique_ptr<Table>[]>(kEntries);
         }
-        table = it->second.get();
+        std::unique_ptr<Table>& slot = table->children[idx];
+        if (!slot) {
+            if (!create)
+                return nullptr;
+            slot = std::make_unique<Table>();
+            slot->base = alloc_();
+            ++tablePages_;
+        }
+        table = slot.get();
     }
     return table;
 }
@@ -39,11 +44,14 @@ HierarchicalPageTable::map(std::uint64_t key_page, std::uint64_t value_page,
 {
     Table* pte_table = descend(key_page, /*create=*/true);
     unsigned idx = levelIndex(key_page, kLevels - 1);
-    auto [it, inserted] =
-        pte_table->leaves.insert_or_assign(idx, Leaf{value_page, perms});
-    (void)it;
-    if (inserted)
+    if (!pte_table->leaves)
+        pte_table->leaves = std::make_unique<Leaf[]>(kEntries);
+    bool inserted = !pte_table->leafAt(idx);
+    pte_table->leaves[idx] = Leaf{value_page, perms};
+    if (inserted) {
+        pte_table->leafPresent[idx >> 6] |= std::uint64_t{1} << (idx & 63);
         ++mappings_;
+    }
 }
 
 bool
@@ -53,8 +61,9 @@ HierarchicalPageTable::unmap(std::uint64_t key_page)
     if (!pte_table)
         return false;
     unsigned idx = levelIndex(key_page, kLevels - 1);
-    if (pte_table->leaves.erase(idx) == 0)
+    if (!pte_table->leafAt(idx))
         return false;
+    pte_table->leafPresent[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
     --mappings_;
     return true;
 }
@@ -66,10 +75,10 @@ HierarchicalPageTable::lookup(std::uint64_t key_page) const
     Table* pte_table = self->descend(key_page, /*create=*/false);
     if (!pte_table)
         return std::nullopt;
-    auto it = pte_table->leaves.find(levelIndex(key_page, kLevels - 1));
-    if (it == pte_table->leaves.end())
+    unsigned idx = levelIndex(key_page, kLevels - 1);
+    if (!pte_table->leafAt(idx))
         return std::nullopt;
-    return it->second;
+    return pte_table->leaves[idx];
 }
 
 HierarchicalPageTable::WalkResult
@@ -82,15 +91,13 @@ HierarchicalPageTable::walk(std::uint64_t key_page) const
         result.steps.push_back(
             WalkStep{table->base + idx * kEntryBytes, level});
         if (level == kLevels - 1) {
-            auto it = table->leaves.find(idx);
-            if (it != table->leaves.end())
-                result.leaf = it->second;
+            if (table->leafAt(idx))
+                result.leaf = table->leaves[idx];
             break;
         }
-        auto it = table->children.find(idx);
-        if (it == table->children.end())
+        if (!table->children || !table->children[idx])
             break; // non-present intermediate entry: walk stops here
-        table = it->second.get();
+        table = table->children[idx].get();
     }
     return result;
 }
@@ -102,10 +109,10 @@ HierarchicalPageTable::entryAddr(std::uint64_t key_page,
     FAMSIM_ASSERT(level < kLevels, "page table level out of range");
     const Table* table = root_.get();
     for (unsigned l = 0; l < level; ++l) {
-        auto it = table->children.find(levelIndex(key_page, l));
-        if (it == table->children.end())
+        unsigned idx = levelIndex(key_page, l);
+        if (!table->children || !table->children[idx])
             return std::nullopt;
-        table = it->second.get();
+        table = table->children[idx].get();
     }
     return table->base + levelIndex(key_page, level) * kEntryBytes;
 }

@@ -23,8 +23,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <vector>
 
 namespace famsim {
 
@@ -100,10 +98,46 @@ class HierarchicalPageTable
         unsigned level = 0;      //!< 0 = PGD .. 3 = PTE
     };
 
+    /**
+     * Fixed-capacity list of a walk's steps (at most one per level).
+     * Replaces the per-walk std::vector so the hottest allocation in
+     * the translation path is gone; walkers copy it by value through
+     * their continuation chain for the same reason.
+     */
+    class StepList
+    {
+      public:
+        void
+        push_back(WalkStep step)
+        {
+            steps_[size_++] = step;
+        }
+
+        [[nodiscard]] std::size_t size() const { return size_; }
+        [[nodiscard]] bool empty() const { return size_ == 0; }
+        [[nodiscard]] const WalkStep&
+        operator[](std::size_t i) const
+        {
+            return steps_[i];
+        }
+        [[nodiscard]] const WalkStep* begin() const
+        {
+            return steps_.data();
+        }
+        [[nodiscard]] const WalkStep* end() const
+        {
+            return steps_.data() + size_;
+        }
+
+      private:
+        std::array<WalkStep, kLevels> steps_{};
+        std::uint8_t size_ = 0;
+    };
+
     /** Outcome of a functional walk. */
     struct WalkResult {
         /** Entry addresses touched, in order, until present levels end. */
-        std::vector<WalkStep> steps;
+        StepList steps;
         /** The translation, if the key is mapped. */
         std::optional<Leaf> leaf;
     };
@@ -159,12 +193,28 @@ class HierarchicalPageTable
     }
 
   private:
+    /**
+     * One table page. Children/leaves are direct-indexed arrays
+     * (allocated lazily, on the first child or leaf) instead of hash
+     * maps: a walk or descend is then three predictable indexed loads
+     * with no hashing, and teardown is linear. A leaf-level table
+     * costs ~8 KB, an intermediate ~4 KB — a few MB per simulated
+     * node even for the paper's most scattered workloads.
+     */
     struct Table {
         std::uint64_t base = 0;
-        /** Children for levels 0..2. */
-        std::unordered_map<unsigned, std::unique_ptr<Table>> children;
-        /** Leaves for level 3. */
-        std::unordered_map<unsigned, Leaf> leaves;
+        /** Children for levels 0..2 (kEntries slots once allocated). */
+        std::unique_ptr<std::unique_ptr<Table>[]> children;
+        /** Leaves for level 3 (kEntries slots once allocated). */
+        std::unique_ptr<Leaf[]> leaves;
+        /** Present bits for leaves. */
+        std::array<std::uint64_t, kEntries / 64> leafPresent{};
+
+        [[nodiscard]] bool
+        leafAt(unsigned idx) const
+        {
+            return (leafPresent[idx >> 6] >> (idx & 63)) & 1;
+        }
     };
 
     Table* descend(std::uint64_t key_page, bool create);

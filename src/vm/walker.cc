@@ -35,7 +35,7 @@ NodePtWalker::walk(std::uint64_t va_page, DoneFn done)
 
 void
 NodePtWalker::step(std::uint64_t va_page,
-                   std::vector<HierarchicalPageTable::WalkStep> steps,
+                   HierarchicalPageTable::StepList steps,
                    std::size_t index, DoneFn done)
 {
     if (index >= steps.size()) {

@@ -50,7 +50,7 @@ class NodePtWalker : public Component
 
   private:
     void step(std::uint64_t va_page,
-              std::vector<HierarchicalPageTable::WalkStep> steps,
+              HierarchicalPageTable::StepList steps,
               std::size_t index, DoneFn done);
 
     HierarchicalPageTable& table_;

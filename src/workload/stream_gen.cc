@@ -7,6 +7,29 @@
 
 namespace famsim {
 
+namespace {
+
+/**
+ * Integer threshold t such that, for a raw 32-bit draw r,
+ *   r < t  <=>  (r / 2^32) < p
+ * exactly: both r * 2^-32 and p are exact doubles, and p * 2^32 is an
+ * exact double (power-of-two scaling), so the real comparison reduces
+ * to r < ceil(p * 2^32). Turns every chance(p) on the hot path into
+ * one compare against a precomputed constant while preserving the
+ * result of every historical draw bit-for-bit.
+ */
+std::uint64_t
+chanceThreshold(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return std::uint64_t{1} << 32;
+    return static_cast<std::uint64_t>(std::ceil(p * 4294967296.0));
+}
+
+} // namespace
+
 StreamGen::StreamGen(const StreamProfile& profile, std::uint64_t va_base,
                      std::uint64_t seed, std::uint64_t stream)
     : profile_(profile),
@@ -34,6 +57,37 @@ StreamGen::StreamGen(const StreamProfile& profile, std::uint64_t va_base,
     FAMSIM_ASSERT(profile.memOpFraction > 0.0 &&
                       profile.memOpFraction <= 1.0,
                   "memOpFraction must be in (0,1]");
+    FAMSIM_ASSERT(profile.hot1Prob + profile.hot2Prob <= 1.0,
+                  "hot tier probabilities exceed 1: ", profile.hot1Prob,
+                  " + ", profile.hot2Prob);
+
+    if (profile.vaScatterFactor > 1) {
+        // Tabulate the scatter permutation once so the per-op address
+        // formation needs no 64-bit modulo.
+        scatter_.resize(numPages_);
+        for (std::uint64_t i = 0; i < numPages_; ++i)
+            scatter_[i] = (i * vaStride_) % vaSpanPages_;
+    }
+
+    // Hot-path constants (see header comment on draw-order
+    // preservation). The gap denominator reproduces the old per-call
+    // std::log(1.0 - std::min(p, 0.999999)) exactly; all thresholds
+    // reproduce chance()/uniform() comparisons exactly.
+    gapLogDenom_ =
+        std::log(1.0 - std::min(profile.memOpFraction, 0.999999));
+    reuseThresh_ = chanceThreshold(profile.reuseProb);
+    writeThresh_ = chanceThreshold(profile.writeFraction);
+    double continue_prob = profile.seqRunLen <= 1.0
+                               ? 0.0
+                               : 1.0 - 1.0 / profile.seqRunLen;
+    continueThresh_ = chanceThreshold(continue_prob);
+    seqPageThresh_ = chanceThreshold(profile.seqPageProb);
+    blockingThresh_ = chanceThreshold(profile.blockingFraction);
+    hot1Thresh_ = chanceThreshold(profile.hot1Prob);
+    hot12Thresh_ = chanceThreshold(profile.hot1Prob + profile.hot2Prob);
+    if (numPages_ <= 0xffffffffULL)
+        pagesBound_ = FastBound32(static_cast<std::uint32_t>(numPages_));
+    recent_.reserve(kRingCapacity);
 
     // Scattered hot tiers (hot pages are not contiguous in VA). The
     // tier selection uses a *stream-independent* RNG so that all
@@ -54,6 +108,12 @@ StreamGen::StreamGen(const StreamProfile& profile, std::uint64_t va_base,
             chosen2.insert(page);
     }
     hot2Pages_.assign(chosen2.begin(), chosen2.end());
+    if (!hot1Pages_.empty())
+        hot1Bound_ =
+            FastBound32(static_cast<std::uint32_t>(hot1Pages_.size()));
+    if (!hot2Pages_.empty())
+        hot2Bound_ =
+            FastBound32(static_cast<std::uint32_t>(hot2Pages_.size()));
 
     curPage_ = rng_.below64(numPages_);
     curBlock_ = rng_.below(static_cast<std::uint32_t>(kPageSize /
@@ -63,13 +123,16 @@ StreamGen::StreamGen(const StreamProfile& profile, std::uint64_t va_base,
 MemOpDesc
 StreamGen::next()
 {
+    // Every branch below consumes the PCG stream exactly like the
+    // original floating-point formulation (same draws in the same
+    // order, short-circuits included); the precomputed thresholds and
+    // FastBound32 samplers only remove the per-op divisions and one of
+    // the two log() calls. The golden stream-hash tests pin this.
     MemOpDesc op;
 
     // Geometric gap with success probability = memOpFraction.
     double u = rng_.uniform();
-    double p = profile_.memOpFraction;
-    op.gap = static_cast<unsigned>(
-        std::log(1.0 - u) / std::log(1.0 - std::min(p, 0.999999)));
+    op.gap = static_cast<unsigned>(std::log(1.0 - u) / gapLogDenom_);
     if (op.gap > 1000)
         op.gap = 1000; // bound pathological tails
 
@@ -77,38 +140,40 @@ StreamGen::next()
 
     // Short-term temporal locality: re-access a recent block. These
     // accesses hit the L1 and calibrate the LLC MPKI.
-    if (!recent_.empty() && rng_.chance(profile_.reuseProb)) {
-        std::uint64_t block = recent_[rng_.below(
-            static_cast<std::uint32_t>(recent_.size()))];
+    if (!recent_.empty() && rng_.next() < reuseThresh_) {
+        std::uint64_t idx =
+            recent_.size() == kRingCapacity
+                ? ringBound_.sample(rng_)
+                : rng_.below(static_cast<std::uint32_t>(recent_.size()));
+        std::uint64_t block = recent_[idx];
         op.vaddr = block + rng_.below(8) * 8;
-        op.write = rng_.chance(profile_.writeFraction);
+        op.write = rng_.next() < writeThresh_;
         op.blocking = false; // cache hits never stall the window
         return op;
     }
 
-    double continue_prob =
-        profile_.seqRunLen <= 1.0 ? 0.0 : 1.0 - 1.0 / profile_.seqRunLen;
-    if (runActive_ && rng_.chance(continue_prob)) {
+    if (runActive_ && rng_.next() < continueThresh_) {
         // Continue the sequential run; runs may stream across pages.
         ++curBlock_;
         if (curBlock_ >= blocks_per_page) {
             curBlock_ = 0;
-            curPage_ = (curPage_ + 1) % numPages_;
+            if (++curPage_ == numPages_)
+                curPage_ = 0;
         }
     } else {
         runActive_ = true;
-        double tier = rng_.uniform();
-        if (!hot1Pages_.empty() && tier < profile_.hot1Prob) {
-            curPage_ = hot1Pages_[rng_.below(
-                static_cast<std::uint32_t>(hot1Pages_.size()))];
-        } else if (!hot2Pages_.empty() &&
-                   tier < profile_.hot1Prob + profile_.hot2Prob) {
-            curPage_ = hot2Pages_[rng_.below(
-                static_cast<std::uint32_t>(hot2Pages_.size()))];
-        } else if (rng_.chance(profile_.seqPageProb)) {
-            curPage_ = (curPage_ + 1) % numPages_;
+        std::uint32_t tier = rng_.next();
+        if (!hot1Pages_.empty() && tier < hot1Thresh_) {
+            curPage_ = hot1Pages_[hot1Bound_.sample(rng_)];
+        } else if (!hot2Pages_.empty() && tier < hot12Thresh_) {
+            curPage_ = hot2Pages_[hot2Bound_.sample(rng_)];
+        } else if (rng_.next() < seqPageThresh_) {
+            if (++curPage_ == numPages_)
+                curPage_ = 0;
         } else {
-            curPage_ = rng_.below64(numPages_);
+            curPage_ = numPages_ <= 0xffffffffULL
+                           ? pagesBound_.sample(rng_)
+                           : rng_.below64(numPages_);
         }
         curBlock_ = rng_.below(static_cast<std::uint32_t>(blocks_per_page));
     }
@@ -116,16 +181,16 @@ StreamGen::next()
     std::uint64_t block_addr =
         vaBase_ + vaPageOf(curPage_) * kPageSize + curBlock_ * kBlockSize;
     op.vaddr = block_addr + rng_.below(8) * 8;
-    op.write = rng_.chance(profile_.writeFraction);
-    op.blocking = !op.write && rng_.chance(profile_.blockingFraction);
+    op.write = rng_.next() < writeThresh_;
+    op.blocking = !op.write && rng_.next() < blockingThresh_;
 
     // Remember the block for short-term reuse.
-    constexpr std::size_t ring_capacity = 48; // < L1 capacity in blocks
-    if (recent_.size() < ring_capacity) {
+    if (recent_.size() < kRingCapacity) {
         recent_.push_back(block_addr);
     } else {
         recent_[recentNext_] = block_addr;
-        recentNext_ = (recentNext_ + 1) % ring_capacity;
+        if (++recentNext_ == kRingCapacity)
+            recentNext_ = 0;
     }
     return op;
 }
@@ -135,7 +200,7 @@ StreamGen::vaPageOf(std::uint64_t logical) const
 {
     if (profile_.vaScatterFactor == 1)
         return logical;
-    return (logical * vaStride_) % vaSpanPages_;
+    return scatter_[logical];
 }
 
 std::vector<std::uint64_t>

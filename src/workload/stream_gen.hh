@@ -129,6 +129,9 @@ class StreamGen : public WorkloadGen
     [[nodiscard]] const StreamProfile& profile() const { return profile_; }
 
   private:
+    /** Capacity of the recent-block reuse ring (< L1 in blocks). */
+    static constexpr std::size_t kRingCapacity = 48;
+
     StreamProfile profile_;
     std::uint64_t vaBase_;
     Rng rng_;
@@ -141,6 +144,29 @@ class StreamGen : public WorkloadGen
     std::uint64_t vaStride_ = 1;
     std::vector<std::uint64_t> hot1Pages_;
     std::vector<std::uint64_t> hot2Pages_;
+    /** Precomputed logical-page -> scattered-VA-page table (vaS > 1). */
+    std::vector<std::uint64_t> scatter_;
+
+    /**
+     * Hot-path precomputation (next() is division- and mostly
+     * log-free): the geometric-gap log denominator, every chance(p)
+     * site as a 32-bit integer threshold (draw < t  <=>
+     * uniform() < p, exactly), and division-free samplers for the
+     * fixed below() bounds. All preserve the RNG draw sequence and
+     * results bit-for-bit — see DESIGN.md "RNG draw-order preservation".
+     */
+    double gapLogDenom_ = -1.0;
+    std::uint64_t reuseThresh_ = 0;
+    std::uint64_t writeThresh_ = 0;
+    std::uint64_t continueThresh_ = 0;
+    std::uint64_t seqPageThresh_ = 0;
+    std::uint64_t blockingThresh_ = 0;
+    std::uint64_t hot1Thresh_ = 0;
+    std::uint64_t hot12Thresh_ = 0;
+    FastBound32 pagesBound_{1};
+    FastBound32 hot1Bound_{1};
+    FastBound32 hot2Bound_{1};
+    FastBound32 ringBound_{kRingCapacity};
 
     /** Sequential-run state. */
     std::uint64_t curPage_ = 0;

@@ -6,12 +6,205 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "cache/set_assoc.hh"
+#include "sim/rng.hh"
 
 namespace famsim {
 namespace {
+
+/**
+ * Naive reference model of the pre-SoA tag store: an explicit array of
+ * fat lines with timestamps for recency, per-way MRU flags and the
+ * same RNG draw discipline (one below(ways) per replacement decision).
+ * The SoA rewrite must match it decision-for-decision.
+ */
+class ReferenceCache
+{
+  public:
+    struct Evicted {
+        std::uint64_t key;
+        int value;
+    };
+
+    ReferenceCache(std::size_t sets, std::size_t ways, ReplPolicy policy,
+                   std::uint64_t seed)
+        : sets_(sets), ways_(ways), policy_(policy), lines_(sets * ways),
+          mru_(sets * ways, 0), rng_(seed, 0x5e77)
+    {
+    }
+
+    int*
+    lookup(std::uint64_t key)
+    {
+        Line* line = find(key);
+        if (!line)
+            return nullptr;
+        touch(key, line);
+        return &line->value;
+    }
+
+    const int*
+    probe(std::uint64_t key) const
+    {
+        const Line* line = const_cast<ReferenceCache*>(this)->find(key);
+        return line ? &line->value : nullptr;
+    }
+
+    std::optional<Evicted>
+    insert(std::uint64_t key, int value)
+    {
+        std::size_t set = key % sets_;
+        std::uint64_t tag = key / sets_;
+        Line* free_line = nullptr;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line& line = lines_[set * ways_ + w];
+            if (line.valid && line.tag == tag) {
+                line.value = value;
+                touch(key, &line);
+                return std::nullopt;
+            }
+            if (!line.valid && !free_line)
+                free_line = &line;
+        }
+        Line* victim = free_line ? free_line : pickVictim(set);
+        std::optional<Evicted> evicted;
+        if (victim->valid)
+            evicted = Evicted{victim->tag * sets_ + set, victim->value};
+        victim->valid = true;
+        victim->tag = tag;
+        victim->value = value;
+        touch(key, victim);
+        return evicted;
+    }
+
+    bool
+    invalidate(std::uint64_t key)
+    {
+        Line* line = find(key);
+        if (!line)
+            return false;
+        drop(*line);
+        return true;
+    }
+
+    void
+    invalidateAll()
+    {
+        for (auto& line : lines_)
+            drop(line);
+    }
+
+    template <typename Pred>
+    std::size_t
+    invalidateIf(Pred pred)
+    {
+        std::size_t count = 0;
+        for (auto& line : lines_) {
+            if (line.valid && pred(line.value)) {
+                drop(line);
+                ++count;
+            }
+        }
+        return count;
+    }
+
+    [[nodiscard]] std::size_t
+    countValid() const
+    {
+        std::size_t n = 0;
+        for (const auto& line : lines_)
+            n += line.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Line {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        int value = 0;
+    };
+
+    Line*
+    find(std::uint64_t key)
+    {
+        std::size_t set = key % sets_;
+        std::uint64_t tag = key / sets_;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line& line = lines_[set * ways_ + w];
+            if (line.valid && line.tag == tag)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    void
+    drop(Line& line)
+    {
+        line.valid = false;
+        line.lastUse = 0;
+        if (policy_ == ReplPolicy::TreePlru)
+            mru_[static_cast<std::size_t>(&line - lines_.data())] = 0;
+    }
+
+    void
+    touch(std::uint64_t key, Line* line)
+    {
+        line->lastUse = ++useClock_;
+        if (policy_ == ReplPolicy::TreePlru) {
+            std::size_t set = key % sets_;
+            auto w = static_cast<std::size_t>(line - &lines_[set * ways_]);
+            auto* bits = &mru_[set * ways_];
+            bits[w] = 1;
+            bool all = true;
+            for (std::size_t i = 0; i < ways_; ++i)
+                all = all && bits[i];
+            if (all) {
+                for (std::size_t i = 0; i < ways_; ++i)
+                    bits[i] = (i == w) ? 1 : 0;
+            }
+        }
+    }
+
+    Line*
+    pickVictim(std::size_t set)
+    {
+        Line* base = &lines_[set * ways_];
+        switch (policy_) {
+          case ReplPolicy::Random:
+            return base + rng_.below(static_cast<std::uint32_t>(ways_));
+          case ReplPolicy::TreePlru: {
+            auto* bits = &mru_[set * ways_];
+            for (std::size_t w = 0; w < ways_; ++w) {
+                if (!bits[w])
+                    return base + w;
+            }
+            return base;
+          }
+          case ReplPolicy::Lru:
+          default: {
+            Line* victim = base;
+            for (std::size_t w = 1; w < ways_; ++w) {
+                if (base[w].lastUse < victim->lastUse)
+                    victim = base + w;
+            }
+            return victim;
+          }
+        }
+    }
+
+    std::size_t sets_;
+    std::size_t ways_;
+    ReplPolicy policy_;
+    std::vector<Line> lines_;
+    std::vector<std::uint8_t> mru_;
+    std::uint64_t useClock_ = 0;
+    Rng rng_;
+};
 
 TEST(SetAssoc, HitAfterInsert)
 {
@@ -251,7 +444,94 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::pair<std::size_t, std::size_t>{1, 32},
                       std::pair<std::size_t, std::size_t>{128, 8},
                       std::pair<std::size_t, std::size_t>{64, 4},
-                      std::pair<std::size_t, std::size_t>{16384, 4}));
+                      std::pair<std::size_t, std::size_t>{16384, 4},
+                      // > 64 ways: DeACT-N expands assoc by pairsPerWay
+                      // (e.g. --stu-assoc 32 --pairs 3 = 96 ways); the
+                      // mask words must span multiple 64-bit words.
+                      std::pair<std::size_t, std::size_t>{4, 96},
+                      std::pair<std::size_t, std::size_t>{2, 128}));
+
+/**
+ * The SoA store must match the fat-line reference model
+ * decision-for-decision — hits, values, evicted keys, invalidation
+ * results and valid counts — over long random op sequences, for every
+ * policy and for pow2/non-pow2/single-set geometries. This is what
+ * keeps the golden files bit-identical across the layout rewrite.
+ */
+class SetAssocEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<ReplPolicy, std::pair<std::size_t, std::size_t>>>
+{
+};
+
+TEST_P(SetAssocEquivalenceTest, MatchesReferenceModelDecisionForDecision)
+{
+    auto [policy, shape] = GetParam();
+    auto [sets, ways] = shape;
+    const std::uint64_t seed = 99;
+    SetAssocCache<int> cache(sets, ways, policy, seed);
+    ReferenceCache ref(sets, ways, policy, seed);
+
+    Rng driver(1234, sets * 131 + ways);
+    std::uint64_t keyspace = sets * ways * 4 + 3;
+    for (int step = 0; step < 100000; ++step) {
+        std::uint64_t key = driver.below64(keyspace);
+        std::uint32_t op = driver.below(100);
+        if (op < 50) {
+            int* got = cache.lookup(key);
+            int* want = ref.lookup(key);
+            ASSERT_EQ(got != nullptr, want != nullptr) << "step " << step;
+            if (got) {
+                ASSERT_EQ(*got, *want) << "step " << step;
+            }
+        } else if (op < 75) {
+            int value = static_cast<int>(driver.below(1000));
+            auto got = cache.insert(key, value);
+            auto want = ref.insert(key, value);
+            ASSERT_EQ(got.has_value(), want.has_value()) << "step " << step;
+            if (got) {
+                ASSERT_EQ(got->key, want->key) << "step " << step;
+                ASSERT_EQ(got->value, want->value) << "step " << step;
+            }
+        } else if (op < 85) {
+            const int* got = cache.probe(key);
+            const int* want = ref.probe(key);
+            ASSERT_EQ(got != nullptr, want != nullptr) << "step " << step;
+        } else if (op < 93) {
+            ASSERT_EQ(cache.invalidate(key), ref.invalidate(key))
+                << "step " << step;
+        } else if (op < 97) {
+            auto pred = [](int v) { return v % 3 == 0; };
+            ASSERT_EQ(cache.invalidateIf(pred), ref.invalidateIf(pred))
+                << "step " << step;
+        } else if (op < 99) {
+            ASSERT_EQ(cache.countValid(), ref.countValid())
+                << "step " << step;
+        } else {
+            cache.invalidateAll();
+            ref.invalidateAll();
+        }
+    }
+    EXPECT_EQ(cache.countValid(), ref.countValid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndShapes, SetAssocEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(ReplPolicy::Lru, ReplPolicy::Random,
+                          ReplPolicy::TreePlru),
+        ::testing::Values(std::pair<std::size_t, std::size_t>{1, 4},
+                          std::pair<std::size_t, std::size_t>{12, 3},
+                          std::pair<std::size_t, std::size_t>{64, 4},
+                          std::pair<std::size_t, std::size_t>{128, 8},
+                          std::pair<std::size_t, std::size_t>{2, 96})),
+    [](const auto& info) {
+        ReplPolicy policy = std::get<0>(info.param);
+        auto shape = std::get<1>(info.param);
+        return std::string(toString(policy)) + "_" +
+               std::to_string(shape.first) + "x" +
+               std::to_string(shape.second);
+    });
 
 } // namespace
 } // namespace famsim

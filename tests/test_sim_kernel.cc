@@ -8,10 +8,12 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
 #include <set>
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/flat_map.hh"
 #include "sim/rng.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -178,6 +180,127 @@ TEST(Rng, BelowStaysInRange)
         EXPECT_LT(rng.below(17), 17u);
         EXPECT_LT(rng.below64(1000003), 1000003u);
     }
+}
+
+TEST(Rng, BelowPow2FastPathMatchesSingleMaskedDraw)
+{
+    // For power-of-two bounds the debiased-modulo scheme always took
+    // exactly one draw and reduced it with % == &. The fast path must
+    // return the identical value from the identical single draw.
+    for (std::uint32_t bound : {1u, 2u, 8u, 64u, 4096u, 1u << 31}) {
+        Rng a(55, 3), b(55, 3);
+        for (int i = 0; i < 200; ++i)
+            EXPECT_EQ(a.below(bound), b.next() & (bound - 1))
+                << "bound " << bound;
+    }
+    Rng a(56, 4), b(56, 4);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.below64(1ull << 40), b.next64() & ((1ull << 40) - 1));
+}
+
+TEST(Rng, ZeroBoundPanics)
+{
+    ScopedThrowOnError guard;
+    Rng rng(7);
+    EXPECT_THROW(rng.below(0), SimError);
+    EXPECT_THROW(rng.below64(0), SimError);
+}
+
+TEST(Rng, FastBound32MatchesBelowDrawForDraw)
+{
+    for (std::uint32_t bound : {1u, 3u, 48u, 64u, 12288u, 999983u}) {
+        FastBound32 fast(bound);
+        Rng a(77, 9), b(77, 9);
+        for (int i = 0; i < 500; ++i)
+            EXPECT_EQ(fast.sample(a), b.below(bound)) << "bound " << bound;
+    }
+}
+
+TEST(Rng, FastBound32ModIsExact)
+{
+    Rng rng(31);
+    for (std::uint32_t bound : {3u, 7u, 48u, 12288u, 999983u}) {
+        FastBound32 fast(bound);
+        for (int i = 0; i < 2000; ++i) {
+            std::uint32_t r = rng.next();
+            EXPECT_EQ(fast.mod(r), r % bound) << r << " % " << bound;
+        }
+    }
+}
+
+TEST(Rng, FastBound32ZeroBoundPanicsInsteadOfDividing)
+{
+    ScopedThrowOnError guard;
+    EXPECT_THROW(FastBound32(0), SimError);
+}
+
+// ------------------------------------------------------------- flat map
+
+TEST(FlatMap, BasicInsertFindErase)
+{
+    U64FlatMap<int> map;
+    EXPECT_TRUE(map.empty());
+    map[7] = 70;
+    map[0] = 1; // key 0 must be a legal key
+    auto [it, inserted] = map.try_emplace(7);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(it->second, 70);
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.find(0)->second, 1);
+    EXPECT_EQ(map.erase(7), 1u);
+    EXPECT_EQ(map.erase(7), 0u);
+    EXPECT_TRUE(map.find(7) == map.end());
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomOps)
+{
+    U64FlatMap<int> flat;
+    std::map<std::uint64_t, int> ref;
+    Rng rng(404);
+    for (int step = 0; step < 50000; ++step) {
+        std::uint64_t key = rng.below(512);
+        switch (rng.below(3)) {
+          case 0:
+            flat[key] = step;
+            ref[key] = step;
+            break;
+          case 1: {
+            auto it = flat.find(key);
+            auto rit = ref.find(key);
+            ASSERT_EQ(it == flat.end(), rit == ref.end()) << step;
+            if (rit != ref.end()) {
+                ASSERT_EQ(it->second, rit->second) << step;
+            }
+            break;
+          }
+          default:
+            ASSERT_EQ(flat.erase(key), ref.erase(key)) << step;
+        }
+    }
+    EXPECT_EQ(flat.size(), ref.size());
+    std::size_t seen = 0;
+    for (const auto& [key, value] : flat) {
+        ASSERT_EQ(ref.at(key), value);
+        ++seen;
+    }
+    EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatMap, ChurnDoesNotGrowCapacityUnbounded)
+{
+    // Regression: tombstones counted toward the load factor and every
+    // rehash doubled, so MSHR-style insert/erase churn grew the table
+    // to O(total ops). In-place tombstone clearing must keep capacity
+    // proportional to the live entry count.
+    U64FlatMap<int> map;
+    for (std::uint64_t i = 0; i < 200000; ++i) {
+        map[i] = 1;
+        if (i >= 3)
+            map.erase(i - 3); // never more than 4 live entries
+    }
+    EXPECT_LE(map.size(), 4u);
+    EXPECT_LE(map.capacity(), 64u);
 }
 
 TEST(Rng, UniformCoversRange)

@@ -202,5 +202,60 @@ TEST(StreamGen, BlockingOnlyOnReads)
     }
 }
 
+TEST(StreamGen, HotTierProbabilitiesMustSumBelowOne)
+{
+    ScopedThrowOnError guard;
+    StreamProfile p = profiles::byName("mcf");
+    p.hot1Prob = 0.7;
+    p.hot2Prob = 0.5;
+    EXPECT_THROW(StreamGen(p, 0, 1, 0), SimError);
+}
+
+namespace {
+
+/** FNV-1a over the op stream's observable fields. */
+std::uint64_t
+streamHash(const StreamProfile& profile, int ops)
+{
+    StreamGen gen(profile, 0x100000000000ULL, 12345, 3);
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (int i = 0; i < ops; ++i) {
+        MemOpDesc op = gen.next();
+        mix(op.vaddr);
+        mix((static_cast<std::uint64_t>(op.gap) << 2) |
+            (static_cast<std::uint64_t>(op.write) << 1) |
+            static_cast<std::uint64_t>(op.blocking));
+    }
+    return h;
+}
+
+} // namespace
+
+TEST(StreamGen, GoldenStreamHashesPinTheExactOpSequence)
+{
+    // These hashes were captured from the pre-optimization
+    // floating-point StreamGen::next(); the precomputed-threshold /
+    // fastmod rewrite must emit a byte-identical op stream (vaddr,
+    // gap, write, blocking — and therefore an identical RNG draw
+    // sequence). If a change legitimately alters the generator,
+    // regenerate these with the streamHash() helper above.
+    EXPECT_EQ(streamHash(profiles::byName("mcf"), 100000),
+              0x95fbc9219e2b2fdcULL);
+    EXPECT_EQ(streamHash(profiles::byName("astar"), 100000),
+              0x01876571637c55dbULL);
+    EXPECT_EQ(streamHash(profiles::byName("bc"), 100000),
+              0x38251087b686477eULL);
+    EXPECT_EQ(streamHash(profiles::byName("sssp"), 100000),
+              0x4a0b9cd92d1e5028ULL);
+    EXPECT_EQ(streamHash(profiles::uniformTest(8ull << 20), 100000),
+              0x941095ac6e37f5b6ULL);
+}
+
 } // namespace
 } // namespace famsim
