@@ -29,6 +29,7 @@
 #include "cache/set_assoc.hh"
 #include "harness/figure_report.hh"
 #include "harness/scenario.hh"
+#include "harness/sweep.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "workload/stream_gen.hh"
@@ -36,8 +37,6 @@
 using namespace famsim;
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 /**
  * Pre-PR (seed) reference numbers, measured on the development host
@@ -52,22 +51,6 @@ constexpr double kSeedStreamGenNs = 35.6;
 constexpr double kSeedEventQueueNs = 111.4;
 constexpr double kSeedFig12Seconds = 0.46;
 
-/** Best-of-@p reps wall seconds of @p fn (noise floor for CI hosts). */
-template <typename Fn>
-double
-bestOf(int reps, Fn&& fn)
-{
-    double best = 0.0;
-    for (int r = 0; r < reps; ++r) {
-        auto t0 = Clock::now();
-        fn();
-        double s = std::chrono::duration<double>(Clock::now() - t0).count();
-        if (r == 0 || s < best)
-            best = s;
-    }
-    return best;
-}
-
 volatile std::uint64_t g_sink = 0;
 
 double
@@ -76,7 +59,7 @@ timeLookup(ReplPolicy policy, std::uint64_t iters)
     SetAssocCache<std::uint64_t> cache(16384, 4, policy, 1);
     for (std::uint64_t k = 0; k < 65536; ++k)
         cache.insert(k, k);
-    return bestOf(7, [&] {
+    return bestOfSeconds(7, [&] {
         Rng rng(42);
         std::uint64_t sink = 0;
         for (std::uint64_t i = 0; i < iters; ++i) {
@@ -92,7 +75,7 @@ timeInsertChurn(ReplPolicy policy, std::uint64_t iters)
 {
     SetAssocCache<std::uint64_t> cache(128, 8, policy, 1);
     std::uint64_t key = 0;
-    return bestOf(7, [&] {
+    return bestOfSeconds(7, [&] {
         for (std::uint64_t i = 0; i < iters; ++i) {
             ++key;
             cache.insert(key * 7919, key);
@@ -105,7 +88,7 @@ double
 timeStreamGen(const char* profile, std::uint64_t iters)
 {
     StreamGen gen(profiles::byName(profile), 0x100000000000ULL, 1, 0);
-    return bestOf(7, [&] {
+    return bestOfSeconds(7, [&] {
         std::uint64_t sink = 0;
         for (std::uint64_t i = 0; i < iters; ++i)
             sink += gen.next().vaddr;
@@ -116,7 +99,7 @@ timeStreamGen(const char* profile, std::uint64_t iters)
 double
 timeEventQueue(std::uint64_t events)
 {
-    return bestOf(7, [&] {
+    return bestOfSeconds(7, [&] {
         EventQueue q;
         std::uint64_t executed = 0;
         // Self-rescheduling chains: every event schedules a successor
@@ -143,7 +126,7 @@ timeEventQueue(std::uint64_t events)
 double
 timeRngDraws(std::uint64_t iters)
 {
-    return bestOf(7, [&] {
+    return bestOfSeconds(7, [&] {
         Rng rng(7);
         std::uint64_t sink = 0;
         for (std::uint64_t i = 0; i < iters; ++i)
@@ -156,11 +139,26 @@ double
 timeFig12()
 {
     const auto& registry = ScenarioRegistry::paper();
-    return bestOf(5, [&] {
+    return bestOfSeconds(5, [&] {
         std::size_t bytes = 0;
         for (const Scenario* s : registry.byFigure("fig12_performance"))
             bytes += runScenarioJson(*s).size();
         g_sink = g_sink + bytes;
+    });
+}
+
+/**
+ * Wall clock of the 16-node fig16 scaling point (the parallel kernel's
+ * acceptance anchor) under one execution kernel. threads = 0 is the
+ * serial reference; >= 1 the conservative-window kernel.
+ */
+double
+timeFig16n16(unsigned threads)
+{
+    const Scenario& scenario =
+        SweepRegistry::paperPoints().byName("fig16_num_nodes.n16");
+    return bestOfSeconds(2, [&] {
+        g_sink = g_sink + runScenarioJson(scenario, threads).size();
     });
 }
 
@@ -247,6 +245,22 @@ main(int argc, char** argv)
     // 4 architectures x 60000 instructions per scenario run.
     add("fig12_scenarios.e2e", fig12_s, 4 * 60000);
 
+    // Parallel-kernel trajectory: the 16-node fig16 sweep point (64
+    // cores x 60k instructions) end to end, serial vs the windowed
+    // kernel at 1/2/4 workers. The speedup summaries are the headline;
+    // like the wall-clock rows they depend on the host's core count
+    // (~1x on a single-core runner), so they are reported, not gated.
+    const std::uint64_t fig16_ops = 16 * 4 * 60000;
+    double psim_serial_s = timeFig16n16(0);
+    add("fig16n16.serial", psim_serial_s, fig16_ops);
+    double psim_t_s[3] = {0, 0, 0};
+    const unsigned kWorkerCounts[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+        psim_t_s[i] = timeFig16n16(kWorkerCounts[i]);
+        add("fig16n16.t" + std::to_string(kWorkerCounts[i]),
+            psim_t_s[i], fig16_ops);
+    }
+
     for (int p = 0; p < 3; ++p)
         report.addSummary(
             std::string("speedup_vs_seed_lookup_") + kPolicyTag[p],
@@ -258,6 +272,12 @@ main(int argc, char** argv)
     report.addSummary("speedup_vs_seed_fig12",
                       kSeedFig12Seconds / fig12_s);
     report.addSummary("fig12_wall_seconds", fig12_s);
+    report.addSummary("fig16n16_serial_wall_seconds", psim_serial_s);
+    for (int i = 0; i < 3; ++i) {
+        report.addSummary("speedup_parallel_fig16n16_t" +
+                              std::to_string(kWorkerCounts[i]),
+                          psim_serial_s / psim_t_s[i]);
+    }
     report.addMeta("seed_reference",
                    "pre-overhaul numbers measured on the dev host; see "
                    "README 'Host-throughput benchmarking'");

@@ -20,6 +20,12 @@
  *     --fabric-ns <n>      one-way fabric latency in ns (default 450)
  *     --seed <n>           RNG seed (default 1)
  *     --warmup <f>         warmup fraction (default 0.3)
+ *     --threads <n>        simulation kernel: 0 = serial reference
+ *                          (default), >= 1 = parallel conservative-
+ *                          window kernel with n worker threads.
+ *                          Results are byte-identical for every n >= 1;
+ *                          the FAMSIM_THREADS environment variable
+ *                          supplies the default
  *     --record <file>      record the workload to a trace file and exit
  *     --replay <file>      drive core 0 of node 0 from a trace file
  *     --stats              dump every statistic after the run
@@ -56,7 +62,7 @@ printUsage(std::ostream& os, const char* argv0)
        << " [--bench <name>] [--arch efam|ifam|deactw|deactn]\n"
           "  [--instr n] [--nodes n] [--cores n] [--stu-entries n]\n"
           "  [--stu-assoc n] [--acm-bits 8|16|32] [--pairs 1..3]\n"
-          "  [--fabric-ns n] [--seed n] [--warmup f]\n"
+          "  [--fabric-ns n] [--seed n] [--warmup f] [--threads n]\n"
           "  [--record file] [--replay file] [--stats] [--csv] [--json]\n"
           "  [--list] [--scenario name] [--list-scenarios]\n"
           "  [--sweep name] [--list-sweeps] [--help]\n";
@@ -93,6 +99,7 @@ main(int argc, char** argv)
     unsigned acm_bits = 16, pairs = 2;
     std::uint64_t fabric_ns = 450, seed = 1;
     double warmup = 0.3;
+    unsigned threads = threadsFromEnv(0);
     bool dump_stats = false, dump_csv = false, dump_json = false;
     bool show_help = false, list_profiles = false, list_scenarios = false;
     bool list_sweeps = false;
@@ -129,6 +136,9 @@ main(int argc, char** argv)
             fabric_ns = std::stoull(need("--fabric-ns"));
         else if (arg == "--seed") seed = std::stoull(need("--seed"));
         else if (arg == "--warmup") warmup = std::stod(need("--warmup"));
+        else if (arg == "--threads")
+            threads =
+                static_cast<unsigned>(std::stoul(need("--threads")));
         else if (arg == "--record") record_path = need("--record");
         else if (arg == "--replay") replay_path = need("--replay");
         else if (arg == "--stats") dump_stats = true;
@@ -214,7 +224,8 @@ main(int argc, char** argv)
         }
         std::cout << runScenarioJson(reg.has(scenario_name)
                                          ? reg.byName(scenario_name)
-                                         : points.byName(scenario_name));
+                                         : points.byName(scenario_name),
+                                     threads);
         return 0;
     }
     if (!sweep_name.empty()) {
@@ -226,7 +237,7 @@ main(int argc, char** argv)
         }
         const Sweep& sweep = sweeps.byName(sweep_name);
         if (dump_json) {
-            std::cout << runSweepJson(sweep);
+            std::cout << runSweepJson(sweep, threads);
             return 0;
         }
         ScopedQuietLogs quiet_sweep;
@@ -235,7 +246,7 @@ main(int argc, char** argv)
                             {"ipc", "fam_at%", "at_hit%", "acm_hit%"});
         for (const Scenario& point : sweep.expand()) {
             std::cerr << "sweep: " << point.name << "...\n";
-            RunResult r = runOne(point.config);
+            RunResult r = runOne(point.config, threads);
             report.addRow(point.name.substr(sweep.name.size() + 1),
                           {r.ipc, r.famAtPercent,
                            100.0 * r.translationHitRate,
@@ -280,7 +291,7 @@ main(int argc, char** argv)
                   << trace->footprintPages().size() << " pages\n";
     }
 
-    system.run();
+    system.run(threads);
 
     // In --json mode stdout carries only the JSON object (pipeable to
     // jq); the human summary goes to stderr instead.

@@ -1,5 +1,8 @@
 #include "arch/system.hh"
 
+#include <atomic>
+
+#include "psim/parallel_sim.hh"
 #include "sim/logging.hh"
 
 namespace famsim {
@@ -9,9 +12,10 @@ namespace {
 class DirectFamPath : public Component, public MemSink
 {
   public:
-    DirectFamPath(Simulation& sim, const std::string& name,
+    DirectFamPath(Simulation& sim, const std::string& name, NodeId node,
                   FabricLink& fabric, FamMedia& media, Tick node_link)
         : Component(sim, name),
+          node_(node),
           fabric_(fabric),
           media_(media),
           nodeLink_(node_link),
@@ -32,7 +36,7 @@ class DirectFamPath : public Component, public MemSink
         // Move the continuation hop to hop (it runs exactly once);
         // copying would deep-copy the capture chain per traversal.
         pkt->onDone = [this, pkt, orig = std::move(orig)](Packet&) mutable {
-            fabric_.send(FabricLink::Response,
+            fabric_.send(FabricLink::Response, node_,
                          [this, pkt, orig = std::move(orig)]() mutable {
                 sim_.events().scheduleAfter(
                     nodeLink_, [pkt, orig = std::move(orig)] {
@@ -42,12 +46,13 @@ class DirectFamPath : public Component, public MemSink
             });
         };
         sim_.events().scheduleAfter(nodeLink_, [this, pkt] {
-            fabric_.send(FabricLink::Request,
+            fabric_.send(FabricLink::Request, node_,
                          [this, pkt] { media_.access(pkt); });
         });
     }
 
   private:
+    NodeId node_;
     FabricLink& fabric_;
     FamMedia& media_;
     Tick nodeLink_;
@@ -148,7 +153,7 @@ System::buildNode(unsigned index)
     // FAM path, by architecture.
     if (config_.arch == ArchKind::EFam) {
         node->famPath = std::make_unique<DirectFamPath>(
-            sim_, prefix + ".fampath", *fabric_, *media_,
+            sim_, prefix + ".fampath", nid, *fabric_, *media_,
             config_.stu.nodeLinkLatency);
     } else {
         node->stu = std::make_unique<Stu>(sim_, prefix + ".stu",
@@ -225,43 +230,46 @@ System::prefaultNode(unsigned index)
 
     // Touch every VA page of every core's footprint so the run starts
     // from a steady state (the paper simulates post-initialization HPC
-    // kernels; first-touch costs are not part of the evaluation).
-    for (auto& core : node.cores) {
-        for (std::uint64_t va_page : core.workload->footprintPages()) {
-            if (!node.os->pageTable().lookup(va_page))
-                node.os->handleFault(va_page);
-        }
-    }
+    // kernels; first-touch costs are not part of the evaluation). The
+    // batched pass fuses the old lookup + map double radix descend into
+    // one and caches the leaf table across each dense 512-page range —
+    // the absence check doubles as the cross-core dedup (the cores
+    // share one footprint), at a cached-bitmask probe per page.
+    for (auto& core : node.cores)
+        node.os->prefaultPages(core.workload->footprintPages());
 
     if (config_.arch == ArchKind::EFam)
         return; // direct mappings were installed by the patched OS
 
     // Establish the system-level NPA -> FAM mappings for every FAM-zone
-    // page the node allocated (data and page-table pages alike).
+    // page the node allocated (data and page-table pages alike), again
+    // through the fused map-if-absent path.
     auto& fam_table = broker_->famTableOf(nid);
     NodeId logical = broker_->logicalIdOf(nid);
+    HierarchicalPageTable::BulkMapper mapper(fam_table);
     for (std::uint64_t npa_page : node.os->famZonePages()) {
-        if (!fam_table.lookup(npa_page)) {
-            std::uint64_t fam_page = broker_->allocPage(logical, Perms{});
-            fam_table.map(npa_page, fam_page, Perms{});
-        }
+        mapper.mapIfAbsent(npa_page, Perms{}, [&] {
+            return broker_->allocPage(logical, Perms{});
+        });
     }
 }
 
 void
-System::run()
+System::run(unsigned threads)
 {
+    if (threads > 0) {
+        runParallel(threads);
+        return;
+    }
+
     finished_ = 0;
     unsigned total = config_.nodes * config_.coresPerNode;
 
     // Warmup handling: when core 0 of node 0 crosses the warmup mark,
     // reset all statistics and open every core's measurement window.
     if (config_.warmupFraction > 0.0) {
-        auto warmup_at = static_cast<std::uint64_t>(
-            config_.warmupFraction *
-            static_cast<double>(config_.core.instructionLimit));
         Core& lead = *nodes_[0]->cores[0].core;
-        lead.setPhaseCallback(warmup_at, [this] {
+        lead.setPhaseCallback(warmupInstructions(), [this] {
             sim_.stats().resetAll();
             for (auto& node : nodes_) {
                 for (auto& core : node->cores)
@@ -282,6 +290,78 @@ System::run()
     }
     // Drain remaining in-flight events (responses, writebacks).
     sim_.run();
+}
+
+std::uint64_t
+System::warmupInstructions() const
+{
+    return static_cast<std::uint64_t>(
+        config_.warmupFraction *
+        static_cast<double>(config_.core.instructionLimit));
+}
+
+void
+System::runParallel(unsigned threads)
+{
+    // The conservative window: the smallest latency any cross-partition
+    // interaction can have. Node<->STU traffic stays inside a node
+    // partition; what crosses is fabric request/response traffic (one
+    // way >= fabric.latency) and system-level fault service at the
+    // broker (>= serviceLatency).
+    Tick lookahead =
+        std::min(config_.fabric.latency, config_.broker.serviceLatency);
+    if (lookahead == 0) {
+        warn("zero fabric lookahead; falling back to the serial kernel");
+        run(0);
+        return;
+    }
+    if (config_.arch == ArchKind::EFam && !config_.prefault)
+        FAMSIM_FATAL("parallel E-FAM runs require prefaulting: runtime "
+                     "OS faults call the broker synchronously across "
+                     "partitions");
+    FAMSIM_ASSERT(sim_.serialEvents().empty(),
+                  "serial queue not empty at parallel start");
+
+    unsigned total = config_.nodes * config_.coresPerNode;
+    ParallelSim psim(sim_, config_.nodes + 1, lookahead, threads);
+
+    // Warmup: the lead core requests a global barrier op, so the stats
+    // reset and window marks happen at a window boundary — a
+    // deterministic, thread-count-independent point — instead of
+    // mid-window while other partitions are running.
+    if (config_.warmupFraction > 0.0) {
+        Core& lead = *nodes_[0]->cores[0].core;
+        lead.setPhaseCallback(warmupInstructions(), [this, &psim] {
+            psim.postGlobal(sim_.curTick(), [this] {
+                sim_.stats().resetAll();
+                for (auto& node : nodes_) {
+                    for (auto& core : node->cores)
+                        core.core->markWindow();
+                }
+            });
+        });
+    }
+
+    std::atomic<unsigned> finished{0};
+    for (unsigned n = 0; n < config_.nodes; ++n) {
+        psim.withPartition(n, [&] {
+            for (auto& core : nodes_[n]->cores) {
+                core.core->start([&finished] {
+                    finished.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+
+    psim.run(); // drains every queue, mailbox and barrier op
+
+    unsigned done = finished.load(std::memory_order_relaxed);
+    if (done < total)
+        FAMSIM_PANIC("parallel kernel drained with ", total - done,
+                     " cores still running (deadlock)");
+    FAMSIM_ASSERT(sim_.serialEvents().empty(),
+                  "event leaked onto the serial queue during a parallel "
+                  "run");
 }
 
 double

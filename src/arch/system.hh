@@ -113,8 +113,20 @@ class System
   public:
     explicit System(SystemConfig config);
 
-    /** Run every core to its instruction limit (with warmup). */
-    void run();
+    /**
+     * Run every core to its instruction limit (with warmup).
+     *
+     * @param threads 0 (default) runs the original serial event loop —
+     *        the golden-pinned reference path. 1 or more runs the
+     *        conservative-window parallel kernel (src/psim/): one
+     *        partition per node plus a fabric/FAM partition, with a
+     *        lookahead of min(fabric latency, broker service latency).
+     *        Results are byte-identical across thread counts >= 1 (the
+     *        kernel's schedule is deterministic) but intentionally not
+     *        identical to the serial schedule — see DESIGN.md
+     *        "Parallel kernel".
+     */
+    void run(unsigned threads = 0);
 
     // -- metrics (measurement window) -----------------------------------
 
@@ -140,6 +152,8 @@ class System
   private:
     void buildNode(unsigned index);
     void prefaultNode(unsigned index);
+    void runParallel(unsigned threads);
+    [[nodiscard]] std::uint64_t warmupInstructions() const;
 
     SystemConfig config_;
     Simulation sim_;

@@ -1,5 +1,6 @@
 #include "fabric/fabric_link.hh"
 
+#include "psim/parallel_sim.hh"
 #include "sim/logging.hh"
 
 namespace famsim {
@@ -16,14 +17,40 @@ FabricLink::FabricLink(Simulation& sim, const std::string& name,
 }
 
 Tick
-FabricLink::departure(Channel channel)
+FabricLink::departureAt(Channel channel, Tick now)
 {
-    Tick now = sim_.curTick();
     Tick start = std::max(now, channelFree_[channel]);
     channelFree_[channel] = start + params_.serialization;
     ++packets_;
     queueing_.sample((start - now) / kNanosecond);
     return start + params_.latency;
+}
+
+Tick
+FabricLink::departure(Channel channel)
+{
+    return departureAt(channel, sim_.curTick());
+}
+
+void
+FabricLink::sendRequestParallel(std::function<void(Tick)> fn)
+{
+    ParallelSim* psim = sim_.parallel();
+    psim->postArbitrated(psim->fabricPartition(), std::move(fn));
+}
+
+void
+FabricLink::sendResponseParallel(NodeId dst_node,
+                                 std::function<void()> fn)
+{
+    // Responses are sent from the fabric partition (media/broker
+    // completions), so the arbitration state is local; only the
+    // delivery crosses, with at least the one-way latency.
+    ParallelSim* psim = sim_.parallel();
+    FAMSIM_ASSERT(ParallelSim::currentPartition() ==
+                      psim->fabricPartition(),
+                  "fabric response sent from a node partition");
+    psim->post(dst_node, departure(Response), std::move(fn));
 }
 
 } // namespace famsim

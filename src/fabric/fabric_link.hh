@@ -7,6 +7,19 @@
  * STU->FAM segment to 450 ns with 50 ns for the node->STU hop) and a
  * per-packet serialization time that produces contention when several
  * nodes share the fabric (Fig. 16).
+ *
+ * The fabric is also the parallel kernel's partition boundary
+ * (src/psim/): requests travel from a node partition to the fabric/FAM
+ * partition and responses back, each with at least the one-way latency
+ * — the kernel's conservative lookahead. Under a bound ParallelSim,
+ * send() therefore becomes a mailbox post. The request channel's
+ * serialization state is owned by the fabric partition, so request
+ * arbitration is deferred to the window-barrier drain, where it runs
+ * in deterministic (sendTick, srcNode, seq) merge order using the
+ * sender's tick; responses are sent *from* the fabric partition, so
+ * they arbitrate inline and post the delivery to the destination
+ * node's partition. Serial mode (no ParallelSim bound) is exactly the
+ * original single-queue behavior.
  */
 
 #ifndef FAMSIM_FABRIC_FABRIC_LINK_HH
@@ -15,6 +28,8 @@
 #include <array>
 #include <functional>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "sim/simulation.hh"
 
@@ -43,25 +58,82 @@ class FabricLink : public Component
      * when it reaches the far end. Queueing delay due to serialization
      * is applied before propagation. Templated so big completion
      * captures go straight into the event queue's pooled slots instead
-     * of through a heap-allocating std::function.
+     * of through a heap-allocating std::function on the serial path.
+     *
+     * @param dst_node destination compute node of a Response (equals
+     *        the parallel kernel partition to deliver into); ignored
+     *        for Requests, which always target the fabric/FAM
+     *        partition, and on the serial path.
+     */
+    template <typename F>
+    void
+    send(Channel channel, NodeId dst_node, F&& deliver)
+    {
+        if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>)
+            FAMSIM_ASSERT(static_cast<bool>(deliver),
+                          "fabric delivery callback must be non-null");
+        if (!sim_.parallel()) {
+            sim_.events().schedule(departure(channel),
+                                   std::forward<F>(deliver));
+            return;
+        }
+        if (channel == Request) {
+            // Arbitrate at the barrier drain, on the fabric partition,
+            // in (sendTick, srcNode, seq) merge order: channelFree_ is
+            // then touched by exactly one thread, deterministically.
+            // The delivery callable is captured directly (one type
+            // erasure at the helper boundary, not two).
+            sendRequestParallel(
+                [this, cb = std::decay_t<F>(std::forward<F>(deliver))](
+                    Tick sent) mutable {
+                    sim_.events().schedule(departureAt(Request, sent),
+                                           std::move(cb));
+                });
+            return;
+        }
+        sendResponseParallel(
+            dst_node, std::function<void()>(std::forward<F>(deliver)));
+    }
+
+    /**
+     * Serial-mode convenience overload (tests, single-queue runs);
+     * invalid while a parallel kernel is bound.
      */
     template <typename F>
     void
     send(Channel channel, F&& deliver)
     {
-        if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>)
-            FAMSIM_ASSERT(static_cast<bool>(deliver),
-                          "fabric delivery callback must be non-null");
-        sim_.events().schedule(departure(channel),
-                               std::forward<F>(deliver));
+        FAMSIM_ASSERT(!sim_.parallel(),
+                      "destination-less send on the parallel kernel");
+        send(channel, NodeId{0}, std::forward<F>(deliver));
     }
 
     [[nodiscard]] Tick latency() const { return params_.latency; }
     [[nodiscard]] const FabricParams& params() const { return params_; }
 
   private:
-    /** Account one transmission; @return the delivery tick. */
+    /**
+     * Account one transmission departing at @p now; @return the
+     * delivery tick.
+     */
+    [[nodiscard]] Tick departureAt(Channel channel, Tick now);
+
+    /** Account one transmission departing now; @return delivery tick. */
     [[nodiscard]] Tick departure(Channel channel);
+
+    // Out-of-line parallel-kernel plumbing (fabric_link.cc), so this
+    // header — and every component TU including it — stays independent
+    // of src/psim/: the kernel orchestrates the fabric, not the other
+    // way around.
+
+    /** Post @p fn to the fabric partition's arbitrated lane. */
+    void sendRequestParallel(std::function<void(Tick)> fn);
+
+    /**
+     * Arbitrate a response locally (must be on the fabric partition)
+     * and post the delivery to @p dst_node's partition.
+     */
+    void sendResponseParallel(NodeId dst_node, std::function<void()> fn);
 
     FabricParams params_;
     std::array<Tick, 2> channelFree_{0, 0};

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "psim/parallel_sim.hh"
 #include "sim/logging.hh"
 
 namespace famsim {
@@ -131,6 +132,36 @@ MemoryBroker::handleUnmapped(NodeId phys_node, std::uint64_t npa_page,
                              std::function<void(std::uint64_t)> done)
 {
     FAMSIM_ASSERT(done, "handleUnmapped needs a completion callback");
+    if (ParallelSim* psim = sim_.parallel()) {
+        // Parallel kernel: resolve the fault as a global barrier op so
+        // the pool allocator, the ACM flat map and the node's FAM
+        // table mutate while every worker is quiescent (those
+        // structures are read lock-free from node partitions). The
+        // service latency is >= the kernel lookahead by construction
+        // of the window, so the due tick is conservative; bookkeeping
+        // traffic and the completion then run as ordinary events at
+        // the resolution tick on their owning partitions.
+        std::uint32_t origin = ParallelSim::currentPartition();
+        FAMSIM_ASSERT(origin != ParallelSim::kNoPartition,
+                      "system-level fault from outside a partition");
+        Tick due = sim_.curTick() + params_.serviceLatency;
+        psim->postGlobal(due, [this, psim, origin, phys_node, npa_page,
+                               due, done = std::move(done)]() mutable {
+            ++faults_;
+            NodeId logical = logicalIdOf(phys_node);
+            std::uint64_t fam_page = allocPage(logical, Perms{});
+            famTableOf(phys_node).map(npa_page, fam_page, Perms{});
+            psim->queueOf(psim->fabricPartition())
+                .schedule(due, [this, phys_node, npa_page, fam_page] {
+                    writePteTraffic(phys_node, npa_page);
+                    writeAcmTraffic(fam_page);
+                });
+            psim->queueOf(origin).schedule(
+                due,
+                [fam_page, done = std::move(done)] { done(fam_page); });
+        });
+        return;
+    }
     ++faults_;
     sim_.events().scheduleAfter(
         params_.serviceLatency,

@@ -14,6 +14,7 @@
 #ifndef FAMSIM_HARNESS_FIGURE_REPORT_HH
 #define FAMSIM_HARNESS_FIGURE_REPORT_HH
 
+#include <chrono>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -78,6 +79,29 @@ struct BenchOptions {
     /** Resolved per-run instruction budget. */
     std::uint64_t instructions = 0;
 };
+
+/**
+ * Best-of-@p reps wall-clock seconds of @p fn — the shared noise
+ * floor for host-timing benches (bench_throughput rows, the fig16
+ * host-speedup column); one definition so every bench samples the
+ * same way.
+ */
+template <typename Fn>
+[[nodiscard]] double
+bestOfSeconds(int reps, Fn&& fn)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        if (rep == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
 
 /**
  * Parse a bench command line:

@@ -53,11 +53,33 @@ summarize(System& system)
 }
 
 RunResult
-runOne(const SystemConfig& config)
+runOne(const SystemConfig& config, unsigned threads)
 {
     System system(config);
-    system.run();
+    system.run(threads);
     return summarize(system);
+}
+
+unsigned
+threadsFromEnv(unsigned fallback)
+{
+    if (const char* env = std::getenv("FAMSIM_THREADS")) {
+        char* end = nullptr;
+        unsigned long value = std::strtoul(env, &end, 10);
+        if (end && *end == '\0') {
+            // Absurd widths clamp rather than fall back to serial:
+            // the kernel caps workers at the partition count anyway.
+            constexpr unsigned long kMaxThreads = 1024;
+            if (value > kMaxThreads) {
+                warn("clamping FAMSIM_THREADS=", value, " to ",
+                     kMaxThreads);
+                value = kMaxThreads;
+            }
+            return static_cast<unsigned>(value);
+        }
+        warn("ignoring malformed FAMSIM_THREADS='", env, "'");
+    }
+    return fallback;
 }
 
 double

@@ -45,8 +45,21 @@ makeConfig(const StreamProfile& profile, ArchKind arch,
 /** Extract the headline metrics from a finished System run. */
 [[nodiscard]] RunResult summarize(System& system);
 
-/** Build, run and summarize one configuration. */
-[[nodiscard]] RunResult runOne(const SystemConfig& config);
+/**
+ * Build, run and summarize one configuration. @p threads selects the
+ * execution kernel: 0 = serial reference, >= 1 = parallel
+ * conservative-window kernel with that many worker threads (see
+ * System::run).
+ */
+[[nodiscard]] RunResult runOne(const SystemConfig& config,
+                               unsigned threads = 0);
+
+/**
+ * Worker-thread count requested via the FAMSIM_THREADS environment
+ * variable (famsim_cli --threads overrides it); @p fallback when unset
+ * or malformed. 0 means the serial reference kernel.
+ */
+[[nodiscard]] unsigned threadsFromEnv(unsigned fallback = 0);
 
 /** Geometric mean (ignores non-positive values defensively). */
 [[nodiscard]] double geomean(const std::vector<double>& values);

@@ -139,11 +139,11 @@ ScenarioRegistry::names() const
 }
 
 std::string
-runScenarioJson(const Scenario& scenario)
+runScenarioJson(const Scenario& scenario, unsigned threads)
 {
     ScopedQuietLogs quiet;
     System system(scenario.config);
-    system.run();
+    system.run(threads);
     const RunResult metrics = summarize(system);
 
     std::ostringstream os;

@@ -71,8 +71,16 @@ class ScenarioRegistry
  * identity, the key configuration knobs, the headline derived metrics
  * and the full statistics registry. Byte-identical across runs with
  * the same build.
+ *
+ * @p threads selects the kernel (System::run): 0 runs the serial
+ * reference path the goldens are pinned to; any value >= 1 runs the
+ * parallel kernel, whose export is byte-identical for every thread
+ * count >= 1 (but intentionally not to the serial export). The JSON
+ * itself carries no thread count — it describes the simulated system,
+ * not the host execution.
  */
-[[nodiscard]] std::string runScenarioJson(const Scenario& scenario);
+[[nodiscard]] std::string runScenarioJson(const Scenario& scenario,
+                                          unsigned threads = 0);
 
 } // namespace famsim
 

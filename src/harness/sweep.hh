@@ -101,9 +101,11 @@ class SweepRegistry
  * Run every point of @p sweep and export the whole curve as one
  * deterministic JSON object (each point embeds its full scenario
  * export, stats registry included). Byte-identical across runs with
- * the same build and seed.
+ * the same build and seed. @p threads selects the kernel per point
+ * (see runScenarioJson).
  */
-[[nodiscard]] std::string runSweepJson(const Sweep& sweep);
+[[nodiscard]] std::string runSweepJson(const Sweep& sweep,
+                                       unsigned threads = 0);
 
 } // namespace famsim
 

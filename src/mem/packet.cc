@@ -6,16 +6,19 @@ namespace famsim {
 
 namespace {
 
-/** Cleared when the pool is torn down at exit, so any packet that
- *  outlives it is deleted instead of pushed into a dead vector. */
-bool packetPoolAlive = false;
+/** Cleared when the pool is torn down at thread exit, so any packet
+ *  that outlives it is deleted instead of pushed into a dead vector. */
+thread_local bool packetPoolAlive = false;
 
 /**
  * Recycling pool for Packet objects. Packets are the highest-frequency
  * allocation in the simulator — one per cache fill, walk step,
  * writeback and FAM request — and they churn, so a free list serves
- * nearly every makePacket() without touching the heap. Single-threaded
- * by design (the deterministic event queue), hence no locking.
+ * nearly every makePacket() without touching the heap. The pool is
+ * thread-local: each parallel-kernel worker (src/psim/) recycles into
+ * its own free list, so no locking is needed and the serial fast path
+ * is unchanged. A packet released on a different thread than the one
+ * that allocated it simply migrates pools.
  */
 struct PacketPool {
     std::vector<Packet*> free;
@@ -31,7 +34,7 @@ struct PacketPool {
 PacketPool&
 packetPool()
 {
-    static PacketPool pool;
+    thread_local PacketPool pool;
     return pool;
 }
 
@@ -76,7 +79,11 @@ toString(PacketKind kind)
 PktPtr
 makePacket(NodeId node, CoreId core, MemOp op, PacketKind kind)
 {
-    static std::uint64_t next_id = 1;
+    // Thread-local so parallel workers never contend; ids are used for
+    // tracing and uniqueness checks only, never for simulated behavior,
+    // so per-thread sequences (which may collide across threads) are
+    // fine.
+    thread_local std::uint64_t next_id = 1;
     auto& pool = packetPool().free;
     Packet* pkt;
     if (pool.empty()) {

@@ -13,6 +13,7 @@
 #ifndef FAMSIM_MEM_PACKET_HH
 #define FAMSIM_MEM_PACKET_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -52,7 +53,11 @@ class PktPtr;
 
 /** One in-flight memory access. */
 struct Packet {
-    /** Unique id (for tracing and the outstanding-mapping list). */
+    /**
+     * Tracing id, unique per allocating thread only (the counters are
+     * thread-local; ids can collide across parallel workers). Never
+     * key simulated behavior or cross-thread maps on it.
+     */
     std::uint64_t id = 0;
     /** Physical node the request originates from. */
     NodeId node = 0;
@@ -123,13 +128,18 @@ struct Packet {
   private:
     friend class PktPtr;
     /**
-     * Intrusive reference count. The simulation is single-threaded by
-     * design (one deterministic event queue), so the count is a plain
-     * integer — no atomics, unlike the former std::shared_ptr<Packet>,
-     * whose lock-prefixed ref traffic on every capture/copy was a
-     * measurable slice of the event loop.
+     * Intrusive reference count. Relaxed-atomic since the parallel
+     * kernel (src/psim/): a packet is logically owned by one partition
+     * at a time, but dormant handles (MSHR waiters, wrapped
+     * continuations riding inside another packet) can be released on a
+     * different worker thread than the one currently driving the
+     * packet. Increments are relaxed (an increment always happens on a
+     * thread that already owns a reference); the decrement that hits
+     * zero acquires, so the recycling thread observes all prior
+     * releases. Uncontended lock-prefixed ops cost a few cycles each —
+     * measured in the noise of the fig12 e2e gate row.
      */
-    std::uint32_t refs_ = 0;
+    std::atomic<std::uint32_t> refs_{0};
 };
 
 namespace detail {
@@ -153,13 +163,13 @@ class PktPtr
     explicit PktPtr(Packet* pkt) : pkt_(pkt)
     {
         if (pkt_)
-            ++pkt_->refs_;
+            pkt_->refs_.fetch_add(1, std::memory_order_relaxed);
     }
 
     PktPtr(const PktPtr& other) : pkt_(other.pkt_)
     {
         if (pkt_)
-            ++pkt_->refs_;
+            pkt_->refs_.fetch_add(1, std::memory_order_relaxed);
     }
 
     PktPtr(PktPtr&& other) noexcept : pkt_(other.pkt_)
@@ -225,7 +235,8 @@ class PktPtr
     void
     release()
     {
-        if (pkt_ && --pkt_->refs_ == 0)
+        if (pkt_ &&
+            pkt_->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1)
             detail::recyclePacket(pkt_);
         pkt_ = nullptr;
     }

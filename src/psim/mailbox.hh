@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cross-partition mailboxes for the parallel simulation kernel.
+ *
+ * Every ordered pair of partitions (src, dst) owns one Mailbox lane
+ * per message kind. A lane is single-producer (only the worker thread
+ * currently draining the src partition appends) and is consumed only
+ * at window barriers by the worker that owns the dst partition, after
+ * every producer has quiesced — the barrier itself provides the
+ * happens-before edge, so a lane needs no locks and no atomics at all.
+ *
+ * Determinism: messages in one lane sit in source execution order, so
+ * the vector index doubles as the per-source sequence number. The
+ * consumer merges all of its inbound lanes in (tick, srcPartition,
+ * seq) order (see NodeQueue::drainInboxes), which makes the schedule
+ * independent of worker count and thread interleaving.
+ */
+
+#ifndef FAMSIM_PSIM_MAILBOX_HH
+#define FAMSIM_PSIM_MAILBOX_HH
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace famsim {
+
+/** A cross-partition event with a precomputed delivery tick. */
+struct PostMsg {
+    /** Absolute delivery tick (>= send tick + the kernel lookahead). */
+    Tick when = 0;
+    std::function<void()> fn;
+};
+
+/**
+ * A cross-partition send whose delivery tick depends on destination
+ * state (fabric channel serialization). The callback runs at the
+ * barrier drain, on the destination partition, in merged (sent,
+ * srcPartition, seq) order; it performs the arbitration against the
+ * destination-owned state and schedules the actual delivery, which
+ * must land at or after sent + lookahead.
+ */
+struct ArbMsg {
+    /** The sender's tick when the message was posted. */
+    Tick sent = 0;
+    std::function<void(Tick sent)> fn;
+};
+
+/** One single-producer, barrier-drained message lane. */
+template <typename Msg>
+class Mailbox
+{
+  public:
+    /** "Lane is empty" sentinel for minKey(). */
+    static constexpr Tick kNever = ~Tick{0};
+
+    /**
+     * Append @p msg with its pending-tick key — deliverTick for
+     * posts, the earliest possible delivery (sendTick + lookahead)
+     * for arbitrated sends (producer side; src partition's worker
+     * only). The key feeds the cached lane minimum so the
+     * coordinator's next-window scan reads one Tick per lane instead
+     * of walking every queued message.
+     */
+    void
+    push(Msg msg, Tick key)
+    {
+        msgs_.push_back(std::move(msg));
+        if (key < minKey_)
+            minKey_ = key;
+    }
+
+    [[nodiscard]] bool empty() const { return msgs_.empty(); }
+    [[nodiscard]] std::size_t size() const { return msgs_.size(); }
+
+    /** Smallest key queued, kNever when empty. */
+    [[nodiscard]] Tick minKey() const { return minKey_; }
+
+    /** Pending messages, in send order (consumer side, at a barrier). */
+    [[nodiscard]] std::vector<Msg>& messages() { return msgs_; }
+    [[nodiscard]] const std::vector<Msg>& messages() const
+    {
+        return msgs_;
+    }
+
+    /** Drop all messages, keeping capacity (consumer, at a barrier). */
+    void
+    clear()
+    {
+        msgs_.clear();
+        minKey_ = kNever;
+    }
+
+  private:
+    std::vector<Msg> msgs_;
+    Tick minKey_ = kNever;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_PSIM_MAILBOX_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * One partition of the parallel simulation kernel: a private
+ * EventQueue (the pooled 4-ary heap from src/sim/event_queue.hh) plus
+ * the inbound mailbox lanes, one per source partition.
+ *
+ * The owning worker drains the inboxes at the start of each window —
+ * after the barrier, so every producer has quiesced — merging direct
+ * posts in (deliverTick, srcPartition, seq) order and arbitrated
+ * sends in (sendTick, srcPartition, seq) order before executing local
+ * events. Merged insertions happen only at barriers and local events
+ * are inserted in deterministic execution order, so the queue's
+ * (tick, insertion-sequence) tie-break yields one schedule for every
+ * worker count.
+ */
+
+#ifndef FAMSIM_PSIM_NODE_QUEUE_HH
+#define FAMSIM_PSIM_NODE_QUEUE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "psim/mailbox.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace famsim {
+
+/** A partition's event queue and inbound mailboxes. */
+class NodeQueue
+{
+  public:
+    /**
+     * @param id          partition index (also stamped on the queue).
+     * @param partitions  total partition count (= inbound lane count).
+     */
+    NodeQueue(std::uint32_t id, std::uint32_t partitions)
+        : id_(id), postIn_(partitions), arbIn_(partitions)
+    {
+        queue_.setId(id);
+    }
+
+    [[nodiscard]] std::uint32_t id() const { return id_; }
+    [[nodiscard]] EventQueue& queue() { return queue_; }
+    [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
+    /** Inbound direct-post lane from partition @p src (producer side). */
+    [[nodiscard]] Mailbox<PostMsg>& postInbox(std::uint32_t src)
+    {
+        return postIn_[src];
+    }
+
+    /** Inbound arbitrated lane from partition @p src (producer side). */
+    [[nodiscard]] Mailbox<ArbMsg>& arbInbox(std::uint32_t src)
+    {
+        return arbIn_[src];
+    }
+
+    /**
+     * Earliest pending tick across the local queue and the inboxes
+     * (lane keys: deliverTick for posts, earliest possible delivery
+     * sendTick + lookahead for arbitrated sends). Only meaningful at
+     * a barrier. Reads each lane's cached minimum — one Tick per
+     * lane, not a message walk, which matters on the coordinator's
+     * serial section at 64-node partition counts.
+     */
+    [[nodiscard]] Tick
+    minPendingTick() const
+    {
+        Tick min = queue_.nextTick();
+        for (const auto& lane : postIn_)
+            min = std::min(min, lane.minKey());
+        for (const auto& lane : arbIn_)
+            min = std::min(min, lane.minKey());
+        return min;
+    }
+
+    [[nodiscard]] bool
+    inboxesEmpty() const
+    {
+        for (const auto& lane : postIn_) {
+            if (!lane.empty())
+                return false;
+        }
+        for (const auto& lane : arbIn_) {
+            if (!lane.empty())
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Merge every inbound message into the local queue (owning worker,
+     * right after a barrier). Direct posts first, then arbitrated
+     * sends; each class in (tick, srcPartition, seq) order.
+     */
+    void
+    drainInboxes()
+    {
+        gatherScratch(postIn_,
+                      [](const PostMsg& msg) { return msg.when; });
+        for (const auto& [key, idx] : scratch_) {
+            PostMsg& msg = postIn_[key.src].messages()[idx];
+            FAMSIM_ASSERT(msg.when >= queue_.curTick(),
+                          "cross-partition post into the past");
+            queue_.schedule(msg.when, std::move(msg.fn));
+        }
+        for (auto& lane : postIn_)
+            lane.clear();
+
+        gatherScratch(arbIn_,
+                      [](const ArbMsg& msg) { return msg.sent; });
+        for (const auto& [key, idx] : scratch_) {
+            ArbMsg& msg = arbIn_[key.src].messages()[idx];
+            auto fn = std::move(msg.fn);
+            fn(msg.sent);
+        }
+        for (auto& lane : arbIn_)
+            lane.clear();
+    }
+
+  private:
+    /** Deterministic merge key: (tick, srcPartition, seq). */
+    struct MergeKey {
+        Tick tick;
+        std::uint32_t src;
+        std::uint32_t seq;
+
+        bool
+        operator<(const MergeKey& other) const
+        {
+            if (tick != other.tick)
+                return tick < other.tick;
+            if (src != other.src)
+                return src < other.src;
+            return seq < other.seq;
+        }
+    };
+
+    template <typename Msg, typename TickOf>
+    void
+    gatherScratch(std::vector<Mailbox<Msg>>& lanes, TickOf tick_of)
+    {
+        scratch_.clear();
+        for (std::uint32_t src = 0; src < lanes.size(); ++src) {
+            const auto& msgs = lanes[src].messages();
+            for (std::uint32_t i = 0; i < msgs.size(); ++i)
+                scratch_.push_back({MergeKey{tick_of(msgs[i]), src, i}, i});
+        }
+        std::sort(scratch_.begin(), scratch_.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                  });
+    }
+
+    std::uint32_t id_;
+    EventQueue queue_;
+    /** Inbound lanes indexed by source partition. */
+    std::vector<Mailbox<PostMsg>> postIn_;
+    std::vector<Mailbox<ArbMsg>> arbIn_;
+    /** Merge scratch, reused across barriers. */
+    std::vector<std::pair<MergeKey, std::uint32_t>> scratch_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_PSIM_NODE_QUEUE_HH

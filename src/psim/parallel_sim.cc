@@ -1,0 +1,174 @@
+#include "psim/parallel_sim.hh"
+
+#include <algorithm>
+
+namespace famsim {
+
+ParallelSim::ParallelSim(Simulation& sim, std::uint32_t partitions,
+                         Tick lookahead, unsigned threads)
+    : sim_(sim),
+      window_(lookahead),
+      // More workers than partitions can never help: every worker
+      // acknowledges every epoch, so the surplus would be pure
+      // barrier overhead.
+      pool_(std::max(1u, std::min(threads, partitions))),
+      globalIn_(partitions + 1),
+      globalSeq_(partitions + 1, 0)
+{
+    FAMSIM_ASSERT(partitions >= 1, "parallel kernel needs a partition");
+    FAMSIM_ASSERT(!sim.parallel(),
+                  "a parallel kernel is already bound to this simulation");
+    parts_.reserve(partitions);
+    for (std::uint32_t p = 0; p < partitions; ++p)
+        parts_.push_back(std::make_unique<NodeQueue>(p, partitions));
+    sim_.setParallel(this);
+}
+
+ParallelSim::~ParallelSim()
+{
+    sim_.setParallel(nullptr);
+}
+
+std::uint32_t
+ParallelSim::sourceLane() const
+{
+    std::uint32_t current = currentPartition();
+    return current == kNoPartition ? partitions() : current;
+}
+
+void
+ParallelSim::post(std::uint32_t dst, Tick when, std::function<void()> fn)
+{
+    std::uint32_t src = currentPartition();
+    FAMSIM_ASSERT(src != kNoPartition,
+                  "cross-partition post from outside a partition");
+    FAMSIM_ASSERT(dst < partitions(), "post to unknown partition ", dst);
+    FAMSIM_ASSERT(when >= parts_[src]->queue().curTick() + lookahead(),
+                  "cross-partition post violates the lookahead");
+    parts_[dst]->postInbox(src).push(PostMsg{when, std::move(fn)}, when);
+}
+
+void
+ParallelSim::postArbitrated(std::uint32_t dst,
+                            std::function<void(Tick)> fn)
+{
+    std::uint32_t src = currentPartition();
+    FAMSIM_ASSERT(src != kNoPartition,
+                  "arbitrated post from outside a partition");
+    FAMSIM_ASSERT(dst < partitions(), "post to unknown partition ", dst);
+    Tick sent = parts_[src]->queue().curTick();
+    // Key the lane minimum at the earliest possible *delivery* — an
+    // arbitrated send can never land before sent + lookahead — so an
+    // otherwise-idle kernel opens the next window where the delivery
+    // can actually execute instead of paying a dead barrier round at
+    // the send tick.
+    parts_[dst]->arbInbox(src).push(ArbMsg{sent, std::move(fn)},
+                                    sent + lookahead());
+}
+
+void
+ParallelSim::postGlobal(Tick due, std::function<void()> fn)
+{
+    std::uint32_t lane = sourceLane();
+    if (lane < partitions()) {
+        FAMSIM_ASSERT(due >= parts_[lane]->queue().curTick(),
+                      "global op due in the past");
+    }
+    globalIn_[lane].push_back(
+        GlobalOp{due, lane, globalSeq_[lane]++, std::move(fn)});
+}
+
+void
+ParallelSim::collectGlobalOps()
+{
+    bool added = false;
+    for (auto& lane : globalIn_) {
+        if (lane.empty())
+            continue;
+        added = true;
+        pendingGlobal_.insert(pendingGlobal_.end(),
+                              std::make_move_iterator(lane.begin()),
+                              std::make_move_iterator(lane.end()));
+        lane.clear();
+    }
+    if (added) {
+        std::sort(pendingGlobal_.begin(), pendingGlobal_.end(),
+                  [](const GlobalOp& a, const GlobalOp& b) {
+                      if (a.due != b.due)
+                          return a.due < b.due;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.seq < b.seq;
+                  });
+    }
+}
+
+void
+ParallelSim::runGlobalOpsBefore(Tick end)
+{
+    if (pendingGlobal_.empty() || pendingGlobal_.front().due >= end)
+        return;
+    // Barrier ops run with the fabric partition as scheduling context:
+    // broker bookkeeping traffic belongs there, and the workers are
+    // quiescent so touching any partition's state is safe.
+    std::size_t taken = 0;
+    {
+        Scope scope(*this, fabricPartition());
+        while (taken < pendingGlobal_.size() &&
+               pendingGlobal_[taken].due < end) {
+            auto fn = std::move(pendingGlobal_[taken].fn);
+            ++taken;
+            fn();
+        }
+    }
+    pendingGlobal_.erase(pendingGlobal_.begin(),
+                         pendingGlobal_.begin() +
+                             static_cast<std::ptrdiff_t>(taken));
+}
+
+Tick
+ParallelSim::minPendingTick() const
+{
+    Tick min = EventQueue::kForever;
+    for (const auto& part : parts_)
+        min = std::min(min, part->minPendingTick());
+    // pendingGlobal_ is sorted by (due, src, seq) and consumed from
+    // the front, so its minimum is the first element.
+    if (!pendingGlobal_.empty())
+        min = std::min(min, pendingGlobal_.front().due);
+    return min;
+}
+
+std::uint64_t
+ParallelSim::run()
+{
+    for (;;) {
+        collectGlobalOps();
+        Tick next = minPendingTick();
+        if (next == EventQueue::kForever)
+            break;
+        auto [start, end] = window_.open(next);
+        (void)start;
+        runGlobalOpsBefore(end);
+        // Two phases per window, each a full barrier. Drains must not
+        // overlap execution: a partition already running the new
+        // window would otherwise append to the very lanes another
+        // partition is still merging. With the drain fenced off, every
+        // producer is quiescent while its messages are consumed — the
+        // property that lets the mailboxes stay lock-free.
+        pool_.runEpoch(parts_.size(), [&](std::size_t p) {
+            Scope scope(*this, static_cast<std::uint32_t>(p));
+            parts_[p]->drainInboxes();
+        });
+        pool_.runEpoch(parts_.size(), [&](std::size_t p) {
+            Scope scope(*this, static_cast<std::uint32_t>(p));
+            parts_[p]->queue().run(end - 1);
+        });
+    }
+    std::uint64_t executed = 0;
+    for (const auto& part : parts_)
+        executed += part->queue().executed();
+    return executed;
+}
+
+} // namespace famsim

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * ParallelSim — the conservative-window parallel simulation kernel.
+ *
+ * The simulated system is split into partitions: one per compute node
+ * (the node's cores, caches, TLBs, walkers, OS, DRAM, FAM translator
+ * and STU) plus one fabric/FAM partition (the shared FabricLink,
+ * FamMedia, MemoryBroker and ACM store). Each partition owns a
+ * NodeQueue; a fixed WorkerPool executes all partitions' events for
+ * one SyncWindow at a time, entirely without locks, because every
+ * cross-partition interaction has at least `lookahead` ticks of
+ * latency:
+ *
+ *  - fabric request sends (STU/E-FAM path -> media) arrive after the
+ *    one-way fabric latency plus serialization queueing;
+ *  - fabric response sends (media -> STU/node) likewise;
+ *  - system-level fault service at the broker takes its service
+ *    latency (>= lookahead by construction of the window).
+ *
+ * Cross-partition traffic travels through single-producer Mailbox
+ * lanes drained at the window barriers in (tick, srcPartition, seq)
+ * order, so the merged schedule — and therefore every statistic — is
+ * byte-identical for any worker count. Request-channel arbitration
+ * (the shared fabric's serialization state) is deferred to the drain
+ * on the fabric partition: the channel-busy bookkeeping is touched by
+ * exactly one thread, in deterministic merge order, using the
+ * sender's tick.
+ *
+ * Operations that must mutate state read concurrently by several
+ * partitions (broker fault resolution: the FAM pool allocator, the
+ * ACM flat map, a node's system-level page table) run as *global
+ * barrier ops*: single-threaded, between windows, ordered by (due
+ * tick, srcPartition, seq). They may only mutate quiescent state and
+ * schedule events at or after their due tick.
+ *
+ * The parallel schedule is deliberately *not* identical to the legacy
+ * serial one (same-tick cross-partition ties resolve by (tick, src,
+ * seq) instead of global insertion order, and warmup/fault barrier
+ * ops quantize to window boundaries) — the contract is determinism
+ * across thread counts, with serial mode (threads = 0) untouched.
+ * See DESIGN.md "Parallel kernel".
+ */
+
+#ifndef FAMSIM_PSIM_PARALLEL_SIM_HH
+#define FAMSIM_PSIM_PARALLEL_SIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "psim/node_queue.hh"
+#include "psim/sync_window.hh"
+#include "psim/worker_pool.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace famsim {
+
+/** The partitioned, conservatively synchronized event kernel. */
+class ParallelSim
+{
+  public:
+    /** "Not inside any partition" marker. */
+    static constexpr std::uint32_t kNoPartition = ~std::uint32_t{0};
+
+    /**
+     * Binds itself to @p sim (Simulation::parallel()) for its
+     * lifetime; unbinds on destruction.
+     *
+     * @param partitions total partitions (nodes + 1 for fabric/FAM).
+     * @param lookahead  conservative window width in ticks (> 0).
+     * @param threads    worker threads, caller included (>= 1).
+     */
+    ParallelSim(Simulation& sim, std::uint32_t partitions, Tick lookahead,
+                unsigned threads);
+    ~ParallelSim();
+
+    ParallelSim(const ParallelSim&) = delete;
+    ParallelSim& operator=(const ParallelSim&) = delete;
+
+    [[nodiscard]] std::uint32_t partitions() const
+    {
+        return static_cast<std::uint32_t>(parts_.size());
+    }
+
+    /** The shared fabric/FAM partition (by convention the last one). */
+    [[nodiscard]] std::uint32_t fabricPartition() const
+    {
+        return partitions() - 1;
+    }
+
+    [[nodiscard]] Tick lookahead() const { return window_.lookahead(); }
+    [[nodiscard]] std::uint64_t epoch() const { return window_.epoch(); }
+    [[nodiscard]] unsigned threads() const { return pool_.threads(); }
+
+    [[nodiscard]] EventQueue& queueOf(std::uint32_t partition)
+    {
+        return parts_[partition]->queue();
+    }
+
+    /**
+     * Partition the calling thread is currently executing, or
+     * kNoPartition outside a window / withPartition scope. Partition
+     * queues carry their partition index as the queue id (the serial
+     * queue is never published in the thread-local slot).
+     */
+    [[nodiscard]] static std::uint32_t
+    currentPartition()
+    {
+        const EventQueue* queue = detail::tlsQueueSlot();
+        return queue ? queue->id() : kNoPartition;
+    }
+
+    /**
+     * Run @p fn with @p partition as the calling thread's scheduling
+     * context (sim.events(), sim.curTick() resolve to its queue).
+     * For pre-run wiring such as Core::start; only valid while the
+     * kernel is quiescent.
+     */
+    template <typename F>
+    void
+    withPartition(std::uint32_t partition, F&& fn)
+    {
+        Scope scope(*this, partition);
+        fn();
+    }
+
+    /**
+     * Cross-partition post: run @p fn on @p dst at absolute tick
+     * @p when, which must respect the lookahead relative to the
+     * sender's current tick.
+     */
+    void post(std::uint32_t dst, Tick when, std::function<void()> fn);
+
+    /**
+     * Arbitrated cross-partition send: at the next barrier, @p fn
+     * (sendTick) runs on @p dst in merged (sendTick, srcPartition,
+     * seq) order; it must itself schedule the delivery at or after
+     * sendTick + lookahead. Used for the shared fabric's
+     * request-channel serialization.
+     */
+    void postArbitrated(std::uint32_t dst, std::function<void(Tick)> fn);
+
+    /**
+     * Global barrier op: before the window containing @p due opens,
+     * run @p fn single-threaded (all workers quiescent), with the
+     * fabric partition as the scheduling context. Ops run in (due,
+     * srcPartition, seq) order. @p fn may mutate otherwise
+     * read-shared state; it may schedule events only when @p due
+     * respects the lookahead from the posting tick (due >= post tick
+     * + lookahead, as the broker's fault service guarantees), and
+     * then only at ticks >= @p due — every queue has then advanced
+     * at most to @p due's window start. An op posted with due inside
+     * its own window (the warmup reset) runs at the next barrier but
+     * must not schedule: the queues have already run past its due
+     * tick.
+     */
+    void postGlobal(Tick due, std::function<void()> fn);
+
+    /**
+     * Drive windows until every queue, mailbox and barrier op has
+     * drained. @return total events executed across all partitions.
+     */
+    std::uint64_t run();
+
+  private:
+    struct GlobalOp {
+        Tick due;
+        std::uint32_t src;
+        /** Per-source monotonic stamp (never reset, unlike mailbox
+         *  indices) so ops surviving across barriers keep a total
+         *  deterministic order. */
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    /**
+     * RAII partition context: publishes the partition's queue in the
+     * thread-local slot, and clears it even when the guarded callback
+     * throws (FAMSIM_ASSERT under ScopedThrowOnError, in tests) — a
+     * stale slot would dangle into later runs on the same thread.
+     */
+    class Scope
+    {
+      public:
+        Scope(ParallelSim& psim, std::uint32_t partition)
+        {
+            FAMSIM_ASSERT(!detail::tlsQueueSlot(),
+                          "nested partition context");
+            detail::tlsQueueSlot() = &psim.parts_[partition]->queue();
+        }
+        ~Scope() { detail::tlsQueueSlot() = nullptr; }
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+    };
+
+    /** Source lane index for the calling context (main thread posts
+     *  from the virtual lane `partitions()`). */
+    [[nodiscard]] std::uint32_t sourceLane() const;
+
+    [[nodiscard]] Tick minPendingTick() const;
+    void collectGlobalOps();
+    void runGlobalOpsBefore(Tick end);
+
+    Simulation& sim_;
+    SyncWindow window_;
+    WorkerPool pool_;
+    std::vector<std::unique_ptr<NodeQueue>> parts_;
+
+    /** Barrier-op lanes, one per source partition plus the main
+     *  thread; single-producer, merged at barriers. */
+    std::vector<std::vector<GlobalOp>> globalIn_;
+    /** Per-lane monotonic sequence stamps. */
+    std::vector<std::uint64_t> globalSeq_;
+    /** Merged, sorted, not-yet-due barrier ops. */
+    std::vector<GlobalOp> pendingGlobal_;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_PSIM_PARALLEL_SIM_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SyncWindow — conservative-window bookkeeping for the parallel
+ * kernel.
+ *
+ * The kernel advances in windows of at most `lookahead` ticks, where
+ * lookahead is the smallest latency any cross-partition interaction
+ * can have (the fabric's one-way latency for request/response
+ * traffic, the broker's fault service latency for system-level
+ * faults). A partition executing events in [start, start + lookahead)
+ * can only generate cross-partition work at or after start +
+ * lookahead, i.e. in a later window — so all partitions can execute
+ * one window concurrently with no locks, and mailboxes only need
+ * draining at the window barriers (the classic null-message-free
+ * windowed conservative PDES scheme).
+ *
+ * Windows are anchored at the global minimum pending tick rather than
+ * at multiples of the lookahead, so fully idle stretches of simulated
+ * time are skipped in one hop.
+ */
+
+#ifndef FAMSIM_PSIM_SYNC_WINDOW_HH
+#define FAMSIM_PSIM_SYNC_WINDOW_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace famsim {
+
+/** Window/epoch bookkeeping for the conservative kernel. */
+class SyncWindow
+{
+  public:
+    explicit SyncWindow(Tick lookahead) : lookahead_(lookahead)
+    {
+        FAMSIM_ASSERT(lookahead > 0,
+                      "conservative window needs positive lookahead");
+    }
+
+    [[nodiscard]] Tick lookahead() const { return lookahead_; }
+
+    /** Completed windows so far (the epoch counter). */
+    [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+    /** Half-open tick range of one window. */
+    struct Bounds {
+        Tick start;
+        Tick end; //!< exclusive
+    };
+
+    /**
+     * Open the next window at the global minimum pending tick
+     * @p next_pending and bump the epoch. Windows never move
+     * backwards.
+     */
+    [[nodiscard]] Bounds
+    open(Tick next_pending)
+    {
+        FAMSIM_ASSERT(next_pending >= current_.start,
+                      "window moved backwards: ", next_pending, " < ",
+                      current_.start);
+        ++epoch_;
+        current_ = Bounds{next_pending, next_pending + lookahead_};
+        return current_;
+    }
+
+    /** Bounds of the most recently opened window. */
+    [[nodiscard]] const Bounds& current() const { return current_; }
+
+  private:
+    Tick lookahead_;
+    std::uint64_t epoch_ = 0;
+    Bounds current_{0, 0};
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_PSIM_SYNC_WINDOW_HH

@@ -61,6 +61,7 @@ class EventQueue
             now_ = other.now_;
             seq_ = other.seq_;
             executed_ = other.executed_;
+            id_ = other.id_;
         }
         return *this;
     }
@@ -130,6 +131,23 @@ class EventQueue
 
     /** Current simulated time (last executed event's tick). */
     [[nodiscard]] Tick curTick() const { return now_; }
+
+    /** Tick of the earliest pending event (kForever when empty). */
+    [[nodiscard]] Tick
+    nextTick() const
+    {
+        return heap_.empty() ? kForever : heap_.front().when;
+    }
+
+    /**
+     * Partition handle (src/psim/): stamped by the owning NodeQueue
+     * with its partition index, and how ParallelSim::currentPartition
+     * resolves the executing partition from the thread-local queue
+     * slot. 0 (the default) on the serial/global queue, which is
+     * never published in that slot.
+     */
+    [[nodiscard]] std::uint32_t id() const { return id_; }
+    void setId(std::uint32_t id) { id_ = id; }
 
     /** Number of pending events. */
     [[nodiscard]] std::size_t size() const { return heap_.size(); }
@@ -261,6 +279,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint32_t id_ = 0;
 };
 
 } // namespace famsim

@@ -2,6 +2,14 @@
  * @file
  * The Simulation object: event queue + statistics + seed, the context
  * every component is constructed against.
+ *
+ * Since the parallel kernel (src/psim/) the simulation can execute in
+ * two modes. On the default serial path everything runs on the one
+ * global EventQueue, exactly as before. In partitioned mode each
+ * worker thread drains one partition's queue at a time and publishes
+ * it in a thread-local slot; events() and curTick() then resolve to
+ * the partition the calling thread is executing, so component code is
+ * oblivious to the mode it runs under.
  */
 
 #ifndef FAMSIM_SIM_SIMULATION_HH
@@ -16,6 +24,25 @@
 
 namespace famsim {
 
+class ParallelSim; // src/psim/parallel_sim.hh
+
+namespace detail {
+
+/**
+ * The partition queue the calling thread is currently draining, or
+ * null on the serial path. A function-local thread_local with constant
+ * initialization keeps the access to one TLS load — cheap enough for
+ * the schedule()/curTick() hot paths.
+ */
+[[nodiscard]] inline EventQueue*&
+tlsQueueSlot()
+{
+    static thread_local EventQueue* queue = nullptr;
+    return queue;
+}
+
+} // namespace detail
+
 /**
  * Owns the global simulation state. Not copyable; components hold a
  * reference and must not outlive it.
@@ -28,14 +55,42 @@ class Simulation
     Simulation(const Simulation&) = delete;
     Simulation& operator=(const Simulation&) = delete;
 
-    [[nodiscard]] EventQueue& events() { return events_; }
+    /**
+     * The queue the caller should schedule on: the partition queue the
+     * calling worker is draining (partitioned mode), else the serial
+     * global queue.
+     */
+    [[nodiscard]] EventQueue&
+    events()
+    {
+        EventQueue* queue = detail::tlsQueueSlot();
+        return queue ? *queue : events_;
+    }
+
+    /** The serial global queue, regardless of execution context. */
+    [[nodiscard]] EventQueue& serialEvents() { return events_; }
+
     [[nodiscard]] StatRegistry& stats() { return stats_; }
     [[nodiscard]] const StatRegistry& stats() const { return stats_; }
 
-    [[nodiscard]] Tick curTick() const { return events_.curTick(); }
+    /** Current tick of the calling thread's execution context. */
+    [[nodiscard]] Tick
+    curTick() const
+    {
+        const EventQueue* queue = detail::tlsQueueSlot();
+        return queue ? queue->curTick() : events_.curTick();
+    }
+
     [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
-    /** Run the event loop until it drains or @p limit is reached. */
+    /**
+     * The active parallel kernel, or null on the serial path. Bound by
+     * ParallelSim for the duration of a partitioned System::run().
+     */
+    [[nodiscard]] ParallelSim* parallel() const { return parallel_; }
+    void setParallel(ParallelSim* parallel) { parallel_ = parallel; }
+
+    /** Run the serial event loop until it drains or @p limit. */
     std::uint64_t run(Tick limit = EventQueue::kForever)
     {
         return events_.run(limit);
@@ -45,6 +100,7 @@ class Simulation
     std::uint64_t seed_;
     EventQueue events_;
     StatRegistry stats_;
+    ParallelSim* parallel_ = nullptr;
 };
 
 /**

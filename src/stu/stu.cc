@@ -379,7 +379,7 @@ Stu::forwardToFam(const PktPtr& pkt)
     // chain at every fabric traversal.
     pkt->onDone = [this, pkt, orig = std::move(orig),
                    tracked](Packet&) mutable {
-        fabric_.send(FabricLink::Response,
+        fabric_.send(FabricLink::Response, node_,
                      [this, pkt, orig = std::move(orig),
                       tracked]() mutable {
             sim_.events().scheduleAfter(
@@ -400,7 +400,7 @@ Stu::forwardToFam(const PktPtr& pkt)
                 });
         });
     };
-    fabric_.send(FabricLink::Request,
+    fabric_.send(FabricLink::Request, node_,
                  [this, pkt] { media_.access(pkt); });
 }
 
@@ -414,10 +414,10 @@ Stu::sendFamAccess(const PktPtr& origin, FamAddr addr, MemOp op,
     pkt->hasFam = true;
     pkt->issued = sim_.curTick();
     pkt->onDone = [this, done = std::move(done)](Packet&) mutable {
-        fabric_.send(FabricLink::Response,
+        fabric_.send(FabricLink::Response, node_,
                      [done = std::move(done)] { done(); });
     };
-    fabric_.send(FabricLink::Request,
+    fabric_.send(FabricLink::Request, node_,
                  [this, pkt] { media_.access(pkt); });
 }
 

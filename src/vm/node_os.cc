@@ -93,12 +93,10 @@ NodeOs::allocTablePage()
     return npa_page;
 }
 
-Tick
-NodeOs::handleFault(std::uint64_t va_page)
+std::uint64_t
+NodeOs::faultAllocate(Tick& latency)
 {
     ++faults_;
-    Tick latency = params_.faultLatency;
-
     bool is_fam = false;
     std::uint64_t npa_page = allocValuePage(is_fam);
 
@@ -110,9 +108,31 @@ NodeOs::handleFault(std::uint64_t va_page)
         npa_page = fam_page | kFamDirectPageBit;
         latency += broker_->params().exposedRttLatency;
     }
+    return npa_page;
+}
 
+Tick
+NodeOs::handleFault(std::uint64_t va_page)
+{
+    Tick latency = params_.faultLatency;
+    std::uint64_t npa_page = faultAllocate(latency);
     table_.map(va_page, npa_page, Perms{});
     return latency;
+}
+
+void
+NodeOs::prefaultPages(const std::vector<std::uint64_t>& va_pages)
+{
+    HierarchicalPageTable::BulkMapper mapper(table_);
+    for (std::uint64_t va_page : va_pages) {
+        // handleFault minus the latency accounting (prefault discards
+        // it): the shared faultAllocate keeps counters and allocation
+        // order bit-identical between the two paths.
+        mapper.mapIfAbsent(va_page, Perms{}, [this] {
+            Tick discarded = 0;
+            return faultAllocate(discarded);
+        });
+    }
 }
 
 void

@@ -80,6 +80,17 @@ class NodeOs : public Component
      */
     Tick handleFault(std::uint64_t va_page);
 
+    /**
+     * Batched prefault: for every not-yet-mapped page of @p va_pages
+     * (in order), run the normal first-touch fault path. Counter and
+     * allocation-cursor side effects are bit-identical to calling
+     * `if (!pageTable().lookup(p)) handleFault(p)` per page — only the
+     * per-page double radix descend is fused and cached
+     * (HierarchicalPageTable::BulkMapper), which is what makes
+     * scenario construction cheap.
+     */
+    void prefaultPages(const std::vector<std::uint64_t>& va_pages);
+
     /** The node page table (VA page -> NPA page). */
     [[nodiscard]] HierarchicalPageTable& pageTable() { return table_; }
 
@@ -142,6 +153,14 @@ class NodeOs : public Component
     }
 
   private:
+    /**
+     * The fault-time allocation shared by handleFault and
+     * prefaultPages: counts the fault, allocates the NPA page (broker
+     * round trip in Exposed mode, adding its latency to @p latency)
+     * — one copy so the two paths can never drift.
+     */
+    std::uint64_t faultAllocate(Tick& latency);
+
     /** Pick a zone for the next allocation and bump its cursor. */
     std::uint64_t allocValuePage(bool& out_is_fam);
     /** Allocator for page-table pages (follows the same zone policy). */

@@ -192,6 +192,8 @@ class HierarchicalPageTable
         return key_page >> (kIndexBits * (kLevels - 1 - level));
     }
 
+    class BulkMapper;
+
   private:
     /**
      * One table page. Children/leaves are direct-indexed arrays
@@ -223,6 +225,63 @@ class HierarchicalPageTable
     std::unique_ptr<Table> root_;
     std::size_t tablePages_ = 0;
     std::size_t mappings_ = 0;
+};
+
+/**
+ * Batched map-if-absent for the prefault paths (System::prefaultNode):
+ * fuses the lookup + map pair into a single descend and caches the
+ * leaf (PTE) table between calls, so a dense run of keys touches the
+ * upper levels once per 512-page leaf range instead of twice per page.
+ *
+ * Side-effect order per *new* key is exactly the classic
+ * `if (!lookup(k)) { v = alloc(); map(k, v); }` sequence the goldens
+ * are pinned to: the absence check performs no allocation, the value
+ * callback runs before any intermediate table page is allocated, and
+ * the table-page allocator fires in the same descend order — so
+ * allocation cursors, stat counters and famZonePages orders are
+ * bit-identical to the unbatched path.
+ */
+class HierarchicalPageTable::BulkMapper
+{
+  public:
+    explicit BulkMapper(HierarchicalPageTable& table) : table_(table) {}
+
+    /**
+     * Install key_page -> value_fn() if @p key_page is unmapped.
+     * @p value_fn is invoked only when a mapping is installed.
+     * @return true if a new mapping was installed.
+     */
+    template <typename ValueFn>
+    bool
+    mapIfAbsent(std::uint64_t key_page, Perms perms, ValueFn&& value_fn)
+    {
+        // The PTE table covering key_page is identified by its
+        // level-(kLevels-2) prefix; reuse it while keys stay inside
+        // the same 512-page range.
+        std::uint64_t prefix = levelPrefix(key_page, kLevels - 2);
+        if (!leafTable_ || prefix != cachedPrefix_) {
+            leafTable_ = table_.descend(key_page, /*create=*/false);
+            cachedPrefix_ = prefix;
+        }
+        unsigned idx = levelIndex(key_page, kLevels - 1);
+        if (leafTable_ && leafTable_->leafAt(idx))
+            return false;
+        std::uint64_t value = value_fn();
+        if (!leafTable_)
+            leafTable_ = table_.descend(key_page, /*create=*/true);
+        if (!leafTable_->leaves)
+            leafTable_->leaves = std::make_unique<Leaf[]>(kEntries);
+        leafTable_->leaves[idx] = Leaf{value, perms};
+        leafTable_->leafPresent[idx >> 6] |= std::uint64_t{1}
+                                             << (idx & 63);
+        ++table_.mappings_;
+        return true;
+    }
+
+  private:
+    HierarchicalPageTable& table_;
+    Table* leafTable_ = nullptr;
+    std::uint64_t cachedPrefix_ = ~std::uint64_t{0};
 };
 
 } // namespace famsim

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Parallel kernel (src/psim/) tests.
+ *
+ * The headline property: for every registered paper scenario (and the
+ * 16-node fig16 scaling point), the parallel kernel exports
+ * byte-identical stats JSON for one worker thread and for many — the
+ * schedule is deterministic by construction, so thread count must be
+ * unobservable. The unit tests pin the mechanisms that property rests
+ * on: mailbox merge order at window barriers, worker-pool epoch
+ * semantics, sync-window bounds and the queue-id handle.
+ *
+ * FAMSIM_THREADS (when set and >= 2) selects the "many threads" side
+ * of the determinism comparisons, so CI can re-run the suite at
+ * different widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "arch/system.hh"
+#include "harness/runner.hh"
+#include "harness/scenario.hh"
+#include "harness/sweep.hh"
+#include "psim/parallel_sim.hh"
+#include "psim/worker_pool.hh"
+#include "sim/logging.hh"
+
+namespace famsim {
+namespace {
+
+/**
+ * The wide side of every 1-vs-N comparison (>= 2). Defaults to 2 so
+ * the FAMSIM_THREADS=4 CI pass genuinely covers a second width
+ * instead of repeating the default run.
+ */
+unsigned
+wideThreads()
+{
+    unsigned threads = threadsFromEnv(2);
+    return threads >= 2 ? threads : 2;
+}
+
+// ------------------------------------------------- scenario property
+
+/**
+ * Every registered scenario (headline + golden sweep points, incl. the
+ * 16-node fig16 scaling point) must export byte-identical JSON under
+ * --threads 1 and --threads N.
+ */
+class ParallelDeterminism : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ParallelDeterminism, ThreadCountIsUnobservable)
+{
+    const std::string& name = GetParam();
+    const Scenario& scenario =
+        ScenarioRegistry::paper().has(name)
+            ? ScenarioRegistry::paper().byName(name)
+            : SweepRegistry::paperPoints().byName(name);
+    const std::string one = runScenarioJson(scenario, 1);
+    const std::string many = runScenarioJson(scenario, wideThreads());
+    EXPECT_EQ(one, many)
+        << "scenario '" << name << "' diverged between 1 and "
+        << wideThreads() << " worker threads";
+}
+
+std::string
+testId(const testing::TestParamInfo<std::string>& info)
+{
+    std::string id = info.param;
+    for (char& c : id) {
+        if (c == '.' || c == '-')
+            c = '_';
+    }
+    return id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ParallelDeterminism,
+    testing::ValuesIn(ScenarioRegistry::paper().names()), testId);
+
+// The 16-node scaling point is the acceptance anchor; the other golden
+// sweep points ride along for coverage of every swept dimension.
+INSTANTIATE_TEST_SUITE_P(SweepPoints, ParallelDeterminism,
+                         testing::ValuesIn(goldenSweepPointNames()),
+                         testId);
+
+/** Runtime system-level faults (prefault off) take the barrier-op
+ *  path through the broker; it must be just as deterministic. */
+TEST(ParallelDeterminismExtra, RuntimeBrokerFaultsAreDeterministic)
+{
+    SystemConfig config =
+        makeConfig(profiles::byName("mcf"), ArchKind::DeactN, 4000);
+    config.nodes = 2;
+    config.seed = 7;
+    config.prefault = false;
+
+    auto stats_json = [&](unsigned threads) {
+        System system(config);
+        system.run(threads);
+        EXPECT_GT(system.sim().stats().get("broker.faults"), 0.0)
+            << "config did not exercise the runtime fault path";
+        return system.sim().stats().jsonString();
+    };
+    EXPECT_EQ(stats_json(1), stats_json(wideThreads()));
+}
+
+// ------------------------------------------------ mailbox merge order
+
+/**
+ * Cross-partition posts colliding on one destination must execute in
+ * (tick, srcPartition, seq) order, independent of worker count.
+ */
+std::vector<std::tuple<Tick, unsigned, int>>
+runMergeProbe(unsigned threads)
+{
+    Simulation sim;
+    constexpr Tick kLookahead = 100;
+    ParallelSim psim(sim, /*partitions=*/3, kLookahead, threads);
+
+    std::vector<std::tuple<Tick, unsigned, int>> order;
+    auto record = [&](unsigned src, int seq) {
+        return [&order, &sim, src, seq] {
+            order.emplace_back(sim.curTick(), src, seq);
+        };
+    };
+
+    // Partitions 1 and 2 each send two messages at tick 5, all
+    // delivered at tick 105 on partition 0; partition 2 additionally
+    // sends an earlier-tick message that must run first despite being
+    // posted from the highest source id.
+    psim.withPartition(1, [&] {
+        sim.events().schedule(5, [&psim, record] {
+            psim.post(0, 105, record(1, 0));
+            psim.post(0, 105, record(1, 1));
+        });
+    });
+    psim.withPartition(2, [&] {
+        sim.events().schedule(5, [&psim, record] {
+            psim.post(0, 105, record(2, 0));
+            psim.post(0, 105, record(2, 1));
+        });
+        sim.events().schedule(4, [&psim, record] {
+            psim.post(0, 104, record(2, -1));
+        });
+    });
+    psim.run();
+    return order;
+}
+
+TEST(Mailbox, BarrierDrainMergesInTickSourceSeqOrder)
+{
+    using Entry = std::tuple<Tick, unsigned, int>;
+    std::vector<Entry> expected{
+        Entry{104, 2, -1}, Entry{105, 1, 0}, Entry{105, 1, 1},
+        Entry{105, 2, 0}, Entry{105, 2, 1},
+    };
+    EXPECT_EQ(runMergeProbe(1), expected);
+    EXPECT_EQ(runMergeProbe(3), expected) << "merge order must not "
+                                             "depend on worker count";
+}
+
+/** Arbitrated sends drain in (sendTick, src, seq) order and receive
+ *  the sender's tick, not the drain-time tick. */
+TEST(Mailbox, ArbitratedDrainUsesSenderTickOrder)
+{
+    Simulation sim;
+    ParallelSim psim(sim, /*partitions=*/3, /*lookahead=*/50, 2);
+
+    std::vector<std::pair<Tick, unsigned>> order;
+    auto arb = [&](unsigned src) {
+        return [&order, &sim, &psim, src](Tick sent) {
+            order.emplace_back(sent, src);
+            // Contract: schedule the delivery >= sent + lookahead.
+            sim.events().schedule(sent + 50, [] {});
+        };
+    };
+    psim.withPartition(2, [&] {
+        sim.events().schedule(7, [&psim, arb] { psim.postArbitrated(0, arb(2)); });
+    });
+    psim.withPartition(1, [&] {
+        sim.events().schedule(7, [&psim, arb] { psim.postArbitrated(0, arb(1)); });
+        sim.events().schedule(3, [&psim, arb] { psim.postArbitrated(0, arb(1)); });
+    });
+    psim.run();
+
+    std::vector<std::pair<Tick, unsigned>> expected{
+        {3, 1}, {7, 1}, {7, 2}};
+    EXPECT_EQ(order, expected);
+}
+
+/** Lookahead violations are simulator bugs and must be caught. */
+TEST(Mailbox, PostBelowLookaheadPanics)
+{
+    ScopedThrowOnError throw_on_error;
+    Simulation sim;
+    ParallelSim psim(sim, 2, /*lookahead=*/100, 1);
+    psim.withPartition(0, [&] {
+        sim.events().schedule(10, [&] {
+            EXPECT_THROW(psim.post(1, 50, [] {}), SimError);
+        });
+    });
+    psim.run();
+}
+
+// ---------------------------------------------------- global barrier ops
+
+TEST(GlobalOps, RunAtBarriersInDueSourceOrder)
+{
+    Simulation sim;
+    ParallelSim psim(sim, 2, /*lookahead=*/100, 2);
+
+    std::vector<std::pair<Tick, unsigned>> order;
+    psim.withPartition(1, [&] {
+        sim.events().schedule(5, [&] {
+            psim.postGlobal(205, [&] { order.emplace_back(205, 1u); });
+        });
+    });
+    psim.withPartition(0, [&] {
+        sim.events().schedule(5, [&] {
+            psim.postGlobal(205, [&] { order.emplace_back(205, 0u); });
+            psim.postGlobal(110, [&] { order.emplace_back(110, 0u); });
+        });
+    });
+    psim.run();
+
+    std::vector<std::pair<Tick, unsigned>> expected{
+        {110, 0u}, {205, 0u}, {205, 1u}};
+    EXPECT_EQ(order, expected);
+}
+
+// ------------------------------------------------------- worker pool
+
+TEST(WorkerPool, EveryTaskRunsExactlyOncePerEpoch)
+{
+    WorkerPool pool(3);
+    EXPECT_EQ(pool.threads(), 3u);
+    for (int epoch = 0; epoch < 50; ++epoch) {
+        constexpr std::size_t kTasks = 17; // more tasks than workers
+        std::vector<std::atomic<int>> counts(kTasks);
+        pool.runEpoch(kTasks, [&](std::size_t task) {
+            counts[task].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t t = 0; t < kTasks; ++t)
+            EXPECT_EQ(counts[t].load(), 1) << "task " << t;
+    }
+}
+
+TEST(WorkerPool, SingleThreadRunsInline)
+{
+    WorkerPool pool(1);
+    std::vector<std::size_t> ran;
+    pool.runEpoch(4, [&](std::size_t task) { ran.push_back(task); });
+    EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2, 3}));
+    pool.runEpoch(0, [&](std::size_t) { FAIL() << "no tasks expected"; });
+}
+
+// ------------------------------------------------------- sync window
+
+TEST(SyncWindow, OpensAtMinPendingAndTracksEpochs)
+{
+    SyncWindow window(450);
+    EXPECT_EQ(window.lookahead(), 450u);
+    EXPECT_EQ(window.epoch(), 0u);
+    auto bounds = window.open(1000);
+    EXPECT_EQ(bounds.start, 1000u);
+    EXPECT_EQ(bounds.end, 1450u);
+    bounds = window.open(5000); // idle gap skipped in one hop
+    EXPECT_EQ(bounds.start, 5000u);
+    EXPECT_EQ(bounds.end, 5450u);
+    EXPECT_EQ(window.epoch(), 2u);
+}
+
+TEST(SyncWindow, RejectsZeroLookaheadAndBackwardWindows)
+{
+    ScopedThrowOnError throw_on_error;
+    EXPECT_THROW(SyncWindow bad(0), SimError);
+    SyncWindow window(10);
+    (void)window.open(100);
+    EXPECT_THROW((void)window.open(50), SimError);
+}
+
+// ------------------------------------------------- queue-id handle
+
+TEST(QueueHandle, PartitionQueuesCarryTheirIdAndNextTick)
+{
+    Simulation sim;
+    ParallelSim psim(sim, 3, /*lookahead=*/10, 1);
+    EXPECT_EQ(psim.fabricPartition(), 2u);
+    for (std::uint32_t p = 0; p < 3; ++p)
+        EXPECT_EQ(psim.queueOf(p).id(), p);
+
+    EXPECT_EQ(psim.queueOf(1).nextTick(), EventQueue::kForever);
+    psim.withPartition(1, [&] {
+        EXPECT_EQ(&sim.events(), &psim.queueOf(1))
+            << "events() must resolve to the entered partition";
+        sim.events().schedule(42, [] {});
+    });
+    EXPECT_EQ(psim.queueOf(1).nextTick(), 42u);
+    EXPECT_EQ(sim.serialEvents().id(), 0u);
+    psim.run();
+    // The window [42, 52) ran every partition through the horizon.
+    EXPECT_EQ(psim.queueOf(1).curTick(), 51u);
+    EXPECT_EQ(psim.queueOf(1).executed(), 1u);
+}
+
+} // namespace
+} // namespace famsim
