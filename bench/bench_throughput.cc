@@ -148,18 +148,34 @@ timeFig12()
 }
 
 /**
- * Wall clock of the 16-node fig16 scaling point (the parallel kernel's
- * acceptance anchor) under one execution kernel. threads = 0 is the
- * serial reference; >= 1 the conservative-window kernel.
+ * Wall clock of one fig16 scaling point (16/32/64 nodes — the sharded
+ * parallel kernel's acceptance anchors) under one execution kernel.
+ * threads = 0 is the serial reference; >= 1 the conservative-window
+ * kernel. Parallel runs also report the window (= barrier round)
+ * count and how many of those windows the adaptive horizon widened —
+ * the cadence data behind the 64-node barrier question.
  */
-double
-timeFig16n16(unsigned threads)
+struct Fig16Run {
+    double seconds = 0.0;
+    std::uint64_t windows = 0;
+    std::uint64_t widened = 0;
+};
+
+Fig16Run
+timeFig16(const std::string& point, unsigned threads, int reps)
 {
     const Scenario& scenario =
-        SweepRegistry::paperPoints().byName("fig16_num_nodes.n16");
-    return bestOfSeconds(2, [&] {
-        g_sink = g_sink + runScenarioJson(scenario, threads).size();
+        SweepRegistry::paperPoints().byName(point);
+    ScopedQuietLogs quiet;
+    Fig16Run run;
+    run.seconds = bestOfSeconds(reps, [&] {
+        System system(scenario.config);
+        system.run(threads);
+        g_sink = g_sink + system.sim().stats().jsonString().size();
+        run.windows = system.parallelWindows();
+        run.widened = system.parallelWidenedWindows();
     });
+    return run;
 }
 
 /**
@@ -246,19 +262,37 @@ main(int argc, char** argv)
     add("fig12_scenarios.e2e", fig12_s, 4 * 60000);
 
     // Parallel-kernel trajectory: the 16-node fig16 sweep point (64
-    // cores x 60k instructions) end to end, serial vs the windowed
-    // kernel at 1/2/4 workers. The speedup summaries are the headline;
-    // like the wall-clock rows they depend on the host's core count
-    // (~1x on a single-core runner), so they are reported, not gated.
+    // cores x 60k instructions) end to end, serial vs the sharded
+    // windowed kernel at 1/2/4 workers. The speedup summaries are the
+    // headline; like the wall-clock rows they depend on the host's
+    // core count (~1x on a single-core runner), so they are reported,
+    // not gated.
     const std::uint64_t fig16_ops = 16 * 4 * 60000;
-    double psim_serial_s = timeFig16n16(0);
+    double psim_serial_s = timeFig16("fig16_num_nodes.n16", 0, 2).seconds;
     add("fig16n16.serial", psim_serial_s, fig16_ops);
-    double psim_t_s[3] = {0, 0, 0};
+    Fig16Run psim_t[3];
     const unsigned kWorkerCounts[3] = {1, 2, 4};
     for (int i = 0; i < 3; ++i) {
-        psim_t_s[i] = timeFig16n16(kWorkerCounts[i]);
+        psim_t[i] = timeFig16("fig16_num_nodes.n16", kWorkerCounts[i], 2);
         add("fig16n16.t" + std::to_string(kWorkerCounts[i]),
-            psim_t_s[i], fig16_ops);
+            psim_t[i].seconds, fig16_ops);
+    }
+
+    // The 32/64-node scaling points answer where the barrier cadence
+    // bites as partitions grow (129 at 64 nodes): serial vs the
+    // 4-worker sharded kernel, one rep each (the points are big).
+    Fig16Run scaled[2][2]; // [point][serial, t4]
+    const char* kScaledPoints[2] = {"fig16_num_nodes.n32",
+                                    "fig16_num_nodes.n64"};
+    const char* kScaledTag[2] = {"fig16n32", "fig16n64"};
+    const std::uint64_t scaled_ops[2] = {32 * 4 * 60000, 64 * 4 * 60000};
+    for (int p = 0; p < 2; ++p) {
+        scaled[p][0] = timeFig16(kScaledPoints[p], 0, 1);
+        add(std::string(kScaledTag[p]) + ".serial", scaled[p][0].seconds,
+            scaled_ops[p]);
+        scaled[p][1] = timeFig16(kScaledPoints[p], 4, 1);
+        add(std::string(kScaledTag[p]) + ".t4", scaled[p][1].seconds,
+            scaled_ops[p]);
     }
 
     for (int p = 0; p < 3; ++p)
@@ -276,7 +310,21 @@ main(int argc, char** argv)
     for (int i = 0; i < 3; ++i) {
         report.addSummary("speedup_parallel_fig16n16_t" +
                               std::to_string(kWorkerCounts[i]),
-                          psim_serial_s / psim_t_s[i]);
+                          psim_serial_s / psim_t[i].seconds);
+    }
+    report.addSummary("windows_fig16n16_t4",
+                      static_cast<double>(psim_t[2].windows));
+    report.addSummary("windows_widened_fig16n16_t4",
+                      static_cast<double>(psim_t[2].widened));
+    for (int p = 0; p < 2; ++p) {
+        report.addSummary(std::string("speedup_parallel_") +
+                              kScaledTag[p] + "_t4",
+                          scaled[p][0].seconds / scaled[p][1].seconds);
+        report.addSummary(std::string("windows_") + kScaledTag[p] + "_t4",
+                          static_cast<double>(scaled[p][1].windows));
+        report.addSummary(std::string("windows_widened_") +
+                              kScaledTag[p] + "_t4",
+                          static_cast<double>(scaled[p][1].widened));
     }
     report.addMeta("seed_reference",
                    "pre-overhaul numbers measured on the dev host; see "
@@ -309,10 +357,15 @@ main(int argc, char** argv)
     std::string cur_json = current.str();
 
     bool failed = false;
+    // Gated rows are single-threaded and deterministic in work, so
+    // rel_cost transfers across hosts; the parallel fig16 rows (t1..t4
+    // and the speedup/window summaries) depend on the runner's core
+    // count and are reported, not gated.
     for (const char* row :
          {"set_assoc_lookup.lru", "set_assoc_lookup.random",
           "set_assoc_lookup.treeplru", "stream_gen.mcf",
-          "event_queue.churn", "fig12_scenarios.e2e"}) {
+          "event_queue.churn", "fig12_scenarios.e2e",
+          "fig16n16.serial"}) {
         std::vector<double> base, cur;
         if (!baselineValues(base_json, row, base)) {
             std::cerr << "bench_throughput: baseline lacks row '" << row

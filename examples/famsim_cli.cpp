@@ -41,8 +41,13 @@
  *     --help               print usage and exit 0
  */
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "harness/figure_report.hh"
@@ -85,6 +90,58 @@ parseArch(const std::string& name)
     FAMSIM_FATAL("unknown architecture '", name, "'");
 }
 
+/**
+ * Checked numeric flag parsing. Bare std::stoul would abort with an
+ * uncaught exception on `--threads x` and silently accept trailing
+ * garbage (`--threads 4x`); these validate the whole token and exit
+ * with the usage error (code 2) instead.
+ */
+[[noreturn]] void
+badValue(const char* argv0, const char* flag, const std::string& text,
+         const char* expected)
+{
+    std::cerr << "invalid value '" << text << "' for " << flag
+              << " (expected " << expected << ")\n";
+    usage(argv0);
+}
+
+std::uint64_t
+parseUint(const char* argv0, const char* flag, const std::string& text,
+          std::uint64_t max = std::numeric_limits<std::uint64_t>::max())
+{
+    // strtoull accepts leading whitespace, '+', and even '-' (with
+    // wraparound); a flag value must be plain digits.
+    bool digits_only = !text.empty();
+    for (char c : text)
+        digits_only = digits_only && c >= '0' && c <= '9';
+    if (!digits_only)
+        badValue(argv0, flag, text, "an unsigned integer");
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size() || v > max)
+        badValue(argv0, flag, text, "an unsigned integer in range");
+    return v;
+}
+
+double
+parseDouble(const char* argv0, const char* flag, const std::string& text,
+            double min, double max)
+{
+    if (text.empty() ||
+        (std::isspace(static_cast<unsigned char>(text.front())) != 0))
+        badValue(argv0, flag, text, "a number");
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    // strtod happily parses "nan"/"inf"; a non-finite fraction would
+    // silently disable warmup downstream, so reject it here.
+    if (errno == ERANGE || end != text.c_str() + text.size() ||
+        !std::isfinite(v) || v < min || v > max)
+        badValue(argv0, flag, text, "a number in range");
+    return v;
+}
+
 } // namespace
 
 int
@@ -115,30 +172,39 @@ main(int argc, char** argv)
             }
             return argv[++i];
         };
+        constexpr std::uint64_t kUnsignedMax =
+            std::numeric_limits<unsigned>::max();
+        auto uintArg = [&](const char* flag,
+                           std::uint64_t max =
+                               std::numeric_limits<std::uint64_t>::max()) {
+            return parseUint(argv[0], flag, need(flag), max);
+        };
         std::string arg = argv[i];
         if (arg == "--bench") bench = need("--bench");
         else if (arg == "--arch") arch_name = need("--arch");
-        else if (arg == "--instr") instr = std::stoull(need("--instr"));
+        else if (arg == "--instr") instr = uintArg("--instr");
         else if (arg == "--nodes")
-            nodes = static_cast<unsigned>(std::stoul(need("--nodes")));
+            nodes = static_cast<unsigned>(uintArg("--nodes", kUnsignedMax));
         else if (arg == "--cores")
-            cores = static_cast<unsigned>(std::stoul(need("--cores")));
+            cores = static_cast<unsigned>(uintArg("--cores", kUnsignedMax));
         else if (arg == "--stu-entries")
-            stu_entries = std::stoull(need("--stu-entries"));
+            stu_entries = uintArg("--stu-entries");
         else if (arg == "--stu-assoc")
-            stu_assoc = std::stoull(need("--stu-assoc"));
+            stu_assoc = uintArg("--stu-assoc");
         else if (arg == "--acm-bits")
-            acm_bits =
-                static_cast<unsigned>(std::stoul(need("--acm-bits")));
+            acm_bits = static_cast<unsigned>(
+                uintArg("--acm-bits", kUnsignedMax));
         else if (arg == "--pairs")
-            pairs = static_cast<unsigned>(std::stoul(need("--pairs")));
+            pairs = static_cast<unsigned>(uintArg("--pairs", kUnsignedMax));
         else if (arg == "--fabric-ns")
-            fabric_ns = std::stoull(need("--fabric-ns"));
-        else if (arg == "--seed") seed = std::stoull(need("--seed"));
-        else if (arg == "--warmup") warmup = std::stod(need("--warmup"));
+            fabric_ns = uintArg("--fabric-ns");
+        else if (arg == "--seed") seed = uintArg("--seed");
+        else if (arg == "--warmup")
+            warmup = parseDouble(argv[0], "--warmup", need("--warmup"),
+                                 0.0, 1.0);
         else if (arg == "--threads")
-            threads =
-                static_cast<unsigned>(std::stoul(need("--threads")));
+            threads = static_cast<unsigned>(
+                uintArg("--threads", kUnsignedMax));
         else if (arg == "--record") record_path = need("--record");
         else if (arg == "--replay") replay_path = need("--replay");
         else if (arg == "--stats") dump_stats = true;

@@ -36,8 +36,9 @@ class DirectFamPath : public Component, public MemSink
         // Move the continuation hop to hop (it runs exactly once);
         // copying would deep-copy the capture chain per traversal.
         pkt->onDone = [this, pkt, orig = std::move(orig)](Packet&) mutable {
-            fabric_.send(FabricLink::Response, node_,
-                         [this, pkt, orig = std::move(orig)]() mutable {
+            fabric_.sendResponse(node_,
+                                 [this, pkt,
+                                  orig = std::move(orig)]() mutable {
                 sim_.events().scheduleAfter(
                     nodeLink_, [pkt, orig = std::move(orig)] {
                         if (orig)
@@ -46,8 +47,8 @@ class DirectFamPath : public Component, public MemSink
             });
         };
         sim_.events().scheduleAfter(nodeLink_, [this, pkt] {
-            fabric_.send(FabricLink::Request, node_,
-                         [this, pkt] { media_.access(pkt); });
+            fabric_.sendRequest(media_.moduleOf(pkt->fam.value()),
+                                [this, pkt] { media_.access(pkt); });
         });
     }
 
@@ -257,6 +258,10 @@ System::prefaultNode(unsigned index)
 void
 System::run(unsigned threads)
 {
+    // Cadence telemetry belongs to one run; a serial run (including
+    // the zero-lookahead fallback below) reports zero windows.
+    parallelWindows_ = 0;
+    parallelWidenedWindows_ = 0;
     if (threads > 0) {
         runParallel(threads);
         return;
@@ -303,15 +308,14 @@ System::warmupInstructions() const
 void
 System::runParallel(unsigned threads)
 {
-    // The conservative window: the smallest latency any cross-partition
-    // interaction can have. Node<->STU traffic stays inside a node
-    // partition; what crosses is fabric request/response traffic (one
-    // way >= fabric.latency) and system-level fault service at the
-    // broker (>= serviceLatency).
-    Tick lookahead =
-        std::min(config_.fabric.latency, config_.broker.serviceLatency);
-    if (lookahead == 0) {
-        warn("zero fabric lookahead; falling back to the serial kernel");
+    // The per-edge lookahead floors: node<->STU traffic stays inside a
+    // node partition; what crosses is fabric request/response traffic
+    // (one way >= fabric.latency, the node<->media edge) and
+    // system-level fault service at the broker (>= serviceLatency,
+    // every edge touching the broker partition).
+    if (config_.fabric.latency == 0 || config_.broker.serviceLatency == 0) {
+        warn("zero cross-partition lookahead; falling back to the "
+             "serial kernel");
         run(0);
         return;
     }
@@ -323,7 +327,16 @@ System::runParallel(unsigned threads)
                   "serial queue not empty at parallel start");
 
     unsigned total = config_.nodes * config_.coresPerNode;
-    ParallelSim psim(sim_, config_.nodes + 1, lookahead, threads);
+    // Sharded partitioning: one partition per node, one per FAM media
+    // module (each with its own pooled queue and mailbox lanes), one
+    // for the broker — the media/broker work that used to serialize on
+    // a single fabric/FAM partition now scales with the module count.
+    ParallelSim::Topology topo;
+    topo.nodes = config_.nodes;
+    topo.mediaModules = media_->numModules();
+    topo.fabricLookahead = config_.fabric.latency;
+    topo.brokerLookahead = config_.broker.serviceLatency;
+    ParallelSim psim(sim_, topo, threads);
 
     // Warmup: the lead core requests a global barrier op, so the stats
     // reset and window marks happen at a window boundary — a
@@ -354,6 +367,8 @@ System::runParallel(unsigned threads)
     }
 
     psim.run(); // drains every queue, mailbox and barrier op
+    parallelWindows_ = psim.epoch();
+    parallelWidenedWindows_ = psim.widenedEpochs();
 
     unsigned done = finished.load(std::memory_order_relaxed);
     if (done < total)

@@ -119,12 +119,14 @@ class System
      * @param threads 0 (default) runs the original serial event loop —
      *        the golden-pinned reference path. 1 or more runs the
      *        conservative-window parallel kernel (src/psim/): one
-     *        partition per node plus a fabric/FAM partition, with a
-     *        lookahead of min(fabric latency, broker service latency).
-     *        Results are byte-identical across thread counts >= 1 (the
-     *        kernel's schedule is deterministic) but intentionally not
-     *        identical to the serial schedule — see DESIGN.md
-     *        "Parallel kernel".
+     *        partition per node, one per FAM media module, and one for
+     *        the broker, synchronized through a per-edge lookahead
+     *        matrix (node<->media edges at the fabric latency, broker
+     *        edges at the fault service latency) with adaptive window
+     *        widening. Results are byte-identical across thread counts
+     *        >= 1 (the kernel's schedule is deterministic) but
+     *        intentionally not identical to the serial schedule — see
+     *        DESIGN.md "Parallel kernel".
      */
     void run(unsigned threads = 0);
 
@@ -140,6 +142,20 @@ class System
     [[nodiscard]] double acmHitRate() const;
     /** LLC misses per kilo-instruction (Table III check). */
     [[nodiscard]] double mpki() const;
+
+    /** Windows (= barrier rounds) of the last parallel run; 0 after a
+     *  serial run. The cadence metric behind the fig16 scaling rows in
+     *  BENCH_hotpath.json. */
+    [[nodiscard]] std::uint64_t parallelWindows() const
+    {
+        return parallelWindows_;
+    }
+    /** Of those, windows the adaptive horizon opened wider than the
+     *  base lookahead. */
+    [[nodiscard]] std::uint64_t parallelWidenedWindows() const
+    {
+        return parallelWidenedWindows_;
+    }
 
     [[nodiscard]] Simulation& sim() { return sim_; }
     [[nodiscard]] const SystemConfig& config() const { return config_; }
@@ -166,6 +182,8 @@ class System
     std::vector<std::unique_ptr<NodeParts>> nodes_;
 
     unsigned finished_ = 0;
+    std::uint64_t parallelWindows_ = 0;
+    std::uint64_t parallelWidenedWindows_ = 0;
 };
 
 } // namespace famsim

@@ -33,24 +33,30 @@ FabricLink::departure(Channel channel)
 }
 
 void
-FabricLink::sendRequestParallel(std::function<void(Tick)> fn)
+FabricLink::postRequestParallel(unsigned dst_module, ArbFn fn)
 {
+    // The arbitration callback schedules the delivery at sent +
+    // fabric latency, which is only sound on the node<->media edges —
+    // a broker-partition sender would pass the edge-existence check
+    // with the (possibly larger) service-latency floor while its
+    // window ran the destination further ahead. Pin the sender kind.
     ParallelSim* psim = sim_.parallel();
-    psim->postArbitrated(psim->fabricPartition(), std::move(fn));
+    std::uint32_t src = ParallelSim::currentPartition();
+    FAMSIM_ASSERT(src != ParallelSim::kNoPartition &&
+                      psim->kindOf(src) == ParallelSim::Kind::Node,
+                  "fabric request sent from a non-node partition");
+    psim->postArbitrated(psim->mediaPartition(dst_module), std::move(fn));
 }
 
 void
-FabricLink::sendResponseParallel(NodeId dst_node,
-                                 std::function<void()> fn)
+FabricLink::postResponseParallel(NodeId dst_node, ArbFn fn)
 {
-    // Responses are sent from the fabric partition (media/broker
-    // completions), so the arbitration state is local; only the
-    // delivery crosses, with at least the one-way latency.
     ParallelSim* psim = sim_.parallel();
-    FAMSIM_ASSERT(ParallelSim::currentPartition() ==
-                      psim->fabricPartition(),
-                  "fabric response sent from a node partition");
-    psim->post(dst_node, departure(Response), std::move(fn));
+    std::uint32_t src = ParallelSim::currentPartition();
+    FAMSIM_ASSERT(src != ParallelSim::kNoPartition &&
+                      psim->kindOf(src) == ParallelSim::Kind::Media,
+                  "fabric response sent from a non-media partition");
+    psim->postArbitrated(psim->nodePartition(dst_node), std::move(fn));
 }
 
 } // namespace famsim

@@ -9,28 +9,28 @@
  * nodes share the fabric (Fig. 16).
  *
  * The fabric is also the parallel kernel's partition boundary
- * (src/psim/): requests travel from a node partition to the fabric/FAM
- * partition and responses back, each with at least the one-way latency
- * — the kernel's conservative lookahead. Under a bound ParallelSim,
- * send() therefore becomes a mailbox post. The request channel's
- * serialization state is owned by the fabric partition, so request
- * arbitration is deferred to the window-barrier drain, where it runs
- * in deterministic (sendTick, srcNode, seq) merge order using the
- * sender's tick; responses are sent *from* the fabric partition, so
- * they arbitrate inline and post the delivery to the destination
- * node's partition. Serial mode (no ParallelSim bound) is exactly the
- * original single-queue behavior.
+ * (src/psim/): requests travel from a node partition to the partition
+ * of the FAM media module that owns the target address, and responses
+ * back, each with at least the one-way latency — the node<->media
+ * edge of the kernel's lookahead matrix. Under a bound ParallelSim,
+ * both channels' serialization state spans every media partition, so
+ * *all* sends become arbitrated posts: the kernel merges them in
+ * deterministic (sendTick, srcPartition, seq) order and runs the
+ * arbitration single-threaded at the window barrier, using the
+ * sender's tick; the callback then schedules the delivery on the
+ * destination partition's queue. Serial mode (no ParallelSim bound)
+ * is exactly the original single-queue behavior.
  */
 
 #ifndef FAMSIM_FABRIC_FABRIC_LINK_HH
 #define FAMSIM_FABRIC_FABRIC_LINK_HH
 
 #include <array>
-#include <functional>
 #include <string>
 #include <type_traits>
 #include <utility>
 
+#include "psim/mailbox.hh" // leaf header: the ArbFn payload type only
 #include "sim/simulation.hh"
 
 namespace famsim {
@@ -54,45 +54,61 @@ class FabricLink : public Component
                const FabricParams& params);
 
     /**
-     * Transmit one packet-worth of data on @p channel; @p deliver runs
-     * when it reaches the far end. Queueing delay due to serialization
-     * is applied before propagation. Templated so big completion
-     * captures go straight into the event queue's pooled slots instead
-     * of through a heap-allocating std::function on the serial path.
-     *
-     * @param dst_node destination compute node of a Response (equals
-     *        the parallel kernel partition to deliver into); ignored
-     *        for Requests, which always target the fabric/FAM
-     *        partition, and on the serial path.
+     * Transmit one request-packet-worth of data toward FAM media
+     * module @p dst_module (the parallel kernel partition to deliver
+     * into; ignored on the serial path); @p deliver runs when it
+     * reaches the far end. Queueing delay due to serialization is
+     * applied before propagation. Templated so big completion captures
+     * go straight into the event queue's pooled slots instead of
+     * through a type-erasing indirection on the serial path.
      */
     template <typename F>
     void
-    send(Channel channel, NodeId dst_node, F&& deliver)
+    sendRequest(unsigned dst_module, F&& deliver)
     {
-        if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>)
-            FAMSIM_ASSERT(static_cast<bool>(deliver),
-                          "fabric delivery callback must be non-null");
+        checkDeliver(deliver);
         if (!sim_.parallel()) {
-            sim_.events().schedule(departure(channel),
+            sim_.events().schedule(departure(Request),
                                    std::forward<F>(deliver));
             return;
         }
-        if (channel == Request) {
-            // Arbitrate at the barrier drain, on the fabric partition,
-            // in (sendTick, srcNode, seq) merge order: channelFree_ is
-            // then touched by exactly one thread, deterministically.
-            // The delivery callable is captured directly (one type
-            // erasure at the helper boundary, not two).
-            sendRequestParallel(
-                [this, cb = std::decay_t<F>(std::forward<F>(deliver))](
-                    Tick sent) mutable {
-                    sim_.events().schedule(departureAt(Request, sent),
-                                           std::move(cb));
-                });
+        auto arb = [this, cb = std::decay_t<F>(std::forward<F>(deliver))](
+                       Tick sent) mutable {
+            sim_.events().schedule(departureAt(Request, sent),
+                                   std::move(cb));
+        };
+        // Request deliveries are small ([component, PktPtr] captures);
+        // one heap allocation per fabric crossing would dominate the
+        // mailbox cost, so pin them to the inline payload budget.
+        static_assert(sizeof(arb) <= kMailboxInlineBytes,
+                      "fabric request continuation no longer fits the "
+                      "mailbox inline payload");
+        postRequestParallel(dst_module, ArbFn(std::move(arb)));
+    }
+
+    /**
+     * Transmit one response-packet-worth of data toward compute node
+     * @p dst_node (its parallel kernel partition; ignored on the
+     * serial path). Response continuations may wrap whole completion
+     * chains and are allowed to exceed the inline payload budget (one
+     * heap block, as std::function always paid).
+     */
+    template <typename F>
+    void
+    sendResponse(NodeId dst_node, F&& deliver)
+    {
+        checkDeliver(deliver);
+        if (!sim_.parallel()) {
+            sim_.events().schedule(departure(Response),
+                                   std::forward<F>(deliver));
             return;
         }
-        sendResponseParallel(
-            dst_node, std::function<void()>(std::forward<F>(deliver)));
+        auto arb = [this, cb = std::decay_t<F>(std::forward<F>(deliver))](
+                       Tick sent) mutable {
+            sim_.events().schedule(departureAt(Response, sent),
+                                   std::move(cb));
+        };
+        postResponseParallel(dst_node, ArbFn(std::move(arb)));
     }
 
     /**
@@ -105,13 +121,24 @@ class FabricLink : public Component
     {
         FAMSIM_ASSERT(!sim_.parallel(),
                       "destination-less send on the parallel kernel");
-        send(channel, NodeId{0}, std::forward<F>(deliver));
+        checkDeliver(deliver);
+        sim_.events().schedule(departure(channel),
+                               std::forward<F>(deliver));
     }
 
     [[nodiscard]] Tick latency() const { return params_.latency; }
     [[nodiscard]] const FabricParams& params() const { return params_; }
 
   private:
+    template <typename F>
+    static void
+    checkDeliver(const F& deliver)
+    {
+        if constexpr (std::is_constructible_v<bool, const F&>)
+            FAMSIM_ASSERT(static_cast<bool>(deliver),
+                          "fabric delivery callback must be non-null");
+    }
+
     /**
      * Account one transmission departing at @p now; @return the
      * delivery tick.
@@ -123,17 +150,17 @@ class FabricLink : public Component
 
     // Out-of-line parallel-kernel plumbing (fabric_link.cc), so this
     // header — and every component TU including it — stays independent
-    // of src/psim/: the kernel orchestrates the fabric, not the other
-    // way around.
+    // of the kernel proper (psim/mailbox.hh is a leaf payload-type
+    // header): the kernel orchestrates the fabric, not the other way
+    // around.
 
-    /** Post @p fn to the fabric partition's arbitrated lane. */
-    void sendRequestParallel(std::function<void(Tick)> fn);
+    /** Post @p fn to the kernel's arbitration lane, destination the
+     *  partition of media module @p dst_module. */
+    void postRequestParallel(unsigned dst_module, ArbFn fn);
 
-    /**
-     * Arbitrate a response locally (must be on the fabric partition)
-     * and post the delivery to @p dst_node's partition.
-     */
-    void sendResponseParallel(NodeId dst_node, std::function<void()> fn);
+    /** Post @p fn to the kernel's arbitration lane, destination the
+     *  partition of node @p dst_node. */
+    void postResponseParallel(NodeId dst_node, ArbFn fn);
 
     FabricParams params_;
     std::array<Tick, 2> channelFree_{0, 0};

@@ -96,35 +96,71 @@ MemoryBroker::allocPage(NodeId logical_node, Perms perms)
 }
 
 void
-MemoryBroker::writeAcmTraffic(std::uint64_t fam_page)
+MemoryBroker::emitBrokerWrite(NodeId node, FamAddr block)
 {
-    ++acmWrites_;
-    if (!media_)
-        return;
-    PktPtr pkt = makePacket(0, 0, MemOp::Write, PacketKind::Broker);
-    pkt->fam = layout_.acmBlockForPage(fam_page);
+    PktPtr pkt = makePacket(node, 0, MemOp::Write, PacketKind::Broker);
+    pkt->fam = block;
     pkt->hasFam = true;
     pkt->issued = sim_.curTick();
     pkt->onDone = [](Packet&) {};
     media_->access(pkt);
 }
 
+std::optional<FamAddr>
+MemoryBroker::pteWriteBlock(NodeId node, std::uint64_t npa_page)
+{
+    auto addr = famTableOf(node).entryAddr(
+        npa_page, HierarchicalPageTable::kLevels - 1);
+    if (!addr)
+        return std::nullopt;
+    return FamAddr(*addr).blockAddr();
+}
+
 void
-MemoryBroker::writePteTraffic(NodeId node, std::uint64_t npa_page)
+MemoryBroker::writeAcmTraffic(std::uint64_t fam_page,
+                              const BrokerWriteEmit& emit)
+{
+    ++acmWrites_;
+    if (!media_)
+        return;
+    emit(0, layout_.acmBlockForPage(fam_page));
+}
+
+void
+MemoryBroker::writeAcmTraffic(std::uint64_t fam_page)
+{
+    writeAcmTraffic(fam_page, [this](NodeId node, FamAddr block) {
+        emitBrokerWrite(node, block);
+    });
+}
+
+void
+MemoryBroker::writePteTraffic(NodeId node, std::uint64_t npa_page,
+                              const BrokerWriteEmit& emit)
 {
     ++pteWrites_;
     if (!media_)
         return;
-    auto& table = famTableOf(node);
-    auto addr = table.entryAddr(npa_page, HierarchicalPageTable::kLevels - 1);
-    if (!addr)
-        return;
-    PktPtr pkt = makePacket(node, 0, MemOp::Write, PacketKind::Broker);
-    pkt->fam = FamAddr(*addr).blockAddr();
-    pkt->hasFam = true;
-    pkt->issued = sim_.curTick();
-    pkt->onDone = [](Packet&) {};
-    media_->access(pkt);
+    if (auto block = pteWriteBlock(node, npa_page))
+        emit(node, *block);
+}
+
+void
+MemoryBroker::writePteTraffic(NodeId node, std::uint64_t npa_page)
+{
+    writePteTraffic(node, npa_page, [this](NodeId n, FamAddr block) {
+        emitBrokerWrite(n, block);
+    });
+}
+
+void
+MemoryBroker::scheduleBrokerWrite(ParallelSim& psim, NodeId node,
+                                  FamAddr block, Tick when)
+{
+    unsigned module = media_->moduleOf(block.value());
+    psim.queueOf(psim.mediaPartition(module))
+        .schedule(when,
+                  [this, node, block] { emitBrokerWrite(node, block); });
 }
 
 void
@@ -137,10 +173,12 @@ MemoryBroker::handleUnmapped(NodeId phys_node, std::uint64_t npa_page,
         // the pool allocator, the ACM flat map and the node's FAM
         // table mutate while every worker is quiescent (those
         // structures are read lock-free from node partitions). The
-        // service latency is >= the kernel lookahead by construction
-        // of the window, so the due tick is conservative; bookkeeping
-        // traffic and the completion then run as ordinary events at
-        // the resolution tick on their owning partitions.
+        // service latency is >= the node's outgoing lookahead floor by
+        // construction of the matrix, so the due tick is conservative;
+        // bookkeeping traffic and the completion then run as ordinary
+        // events at the resolution tick — the PTE/ACM writes on the
+        // media partitions owning their target modules, the completion
+        // on the faulting node's partition.
         std::uint32_t origin = ParallelSim::currentPartition();
         FAMSIM_ASSERT(origin != ParallelSim::kNoPartition,
                       "system-level fault from outside a partition");
@@ -151,11 +189,12 @@ MemoryBroker::handleUnmapped(NodeId phys_node, std::uint64_t npa_page,
             NodeId logical = logicalIdOf(phys_node);
             std::uint64_t fam_page = allocPage(logical, Perms{});
             famTableOf(phys_node).map(npa_page, fam_page, Perms{});
-            psim->queueOf(psim->fabricPartition())
-                .schedule(due, [this, phys_node, npa_page, fam_page] {
-                    writePteTraffic(phys_node, npa_page);
-                    writeAcmTraffic(fam_page);
-                });
+            auto emit_at_due = [this, psim, due](NodeId node,
+                                                 FamAddr block) {
+                scheduleBrokerWrite(*psim, node, block, due);
+            };
+            writePteTraffic(phys_node, npa_page, emit_at_due);
+            writeAcmTraffic(fam_page, emit_at_due);
             psim->queueOf(origin).schedule(
                 due,
                 [fam_page, done = std::move(done)] { done(fam_page); });

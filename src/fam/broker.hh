@@ -33,6 +33,8 @@
 
 namespace famsim {
 
+class ParallelSim; // src/psim/parallel_sim.hh
+
 /** Broker configuration. */
 struct BrokerParams {
     /** Service latency for a system-level page fault (queue + handler). */
@@ -134,8 +136,36 @@ class MemoryBroker : public Component
 
   private:
     std::uint64_t nextScatteredPage();
+
+    /** Emit one bookkeeping FAM write of @p block now (media_ set). */
+    void emitBrokerWrite(NodeId node, FamAddr block);
+    /** Block address of @p node's leaf FAM PTE for @p npa_page. */
+    std::optional<FamAddr> pteWriteBlock(NodeId node,
+                                         std::uint64_t npa_page);
+
+    /**
+     * How a bookkeeping write reaches the media: immediately on the
+     * serial path, scheduled onto the owning media partition at the
+     * fault's due tick on the parallel path. Parameterizing the emit
+     * keeps the counting/guard logic in one place for both.
+     */
+    using BrokerWriteEmit = std::function<void(NodeId, FamAddr)>;
+
     void writeAcmTraffic(std::uint64_t fam_page);
+    void writeAcmTraffic(std::uint64_t fam_page,
+                         const BrokerWriteEmit& emit);
     void writePteTraffic(NodeId node, std::uint64_t npa_page);
+    void writePteTraffic(NodeId node, std::uint64_t npa_page,
+                         const BrokerWriteEmit& emit);
+
+    /**
+     * Parallel-kernel flavor of the bookkeeping FAM writes: from a
+     * global barrier op, schedule the write of @p block at @p when on
+     * the media partition that owns the target module (the workers
+     * are quiescent, so cross-queue scheduling is safe).
+     */
+    void scheduleBrokerWrite(ParallelSim& psim, NodeId node,
+                             FamAddr block, Tick when);
 
     BrokerParams params_;
     FamLayout& layout_;

@@ -1,5 +1,6 @@
 #include "fam/fam_media.hh"
 
+#include "psim/parallel_sim.hh"
 #include "sim/logging.hh"
 
 namespace famsim {
@@ -8,19 +9,21 @@ FamMedia::FamMedia(Simulation& sim, const std::string& name,
                    const FamMediaParams& params)
     : Component(sim, name),
       params_(params),
-      total_(statCounter("requests", "total requests at FAM")),
-      at_(statCounter("at_requests",
-                      "address-translation requests at FAM")),
-      data_(statCounter("data_requests", "data (non-AT) requests at FAM")),
-      famPtw_(statCounter("fam_ptw_requests",
-                          "FAM page-table walk requests")),
-      acm_(statCounter("acm_requests", "ACM fetch requests")),
-      bitmap_(statCounter("bitmap_requests",
-                          "shared-page bitmap requests")),
-      nodePtw_(statCounter("node_ptw_requests",
-                           "node page-table walk requests reaching FAM")),
-      broker_(statCounter("broker_requests",
-                          "broker bookkeeping requests at FAM"))
+      total_(statSharedCounter("requests", "total requests at FAM")),
+      at_(statSharedCounter("at_requests",
+                            "address-translation requests at FAM")),
+      data_(statSharedCounter("data_requests",
+                              "data (non-AT) requests at FAM")),
+      famPtw_(statSharedCounter("fam_ptw_requests",
+                                "FAM page-table walk requests")),
+      acm_(statSharedCounter("acm_requests", "ACM fetch requests")),
+      bitmap_(statSharedCounter("bitmap_requests",
+                                "shared-page bitmap requests")),
+      nodePtw_(statSharedCounter(
+          "node_ptw_requests",
+          "node page-table walk requests reaching FAM")),
+      broker_(statSharedCounter("broker_requests",
+                                "broker bookkeeping requests at FAM"))
 {
     FAMSIM_ASSERT(params.modules > 0, "FAM needs at least one module");
     for (unsigned i = 0; i < params.modules; ++i) {
@@ -34,6 +37,16 @@ FamMedia::access(const PktPtr& pkt)
 {
     FAMSIM_ASSERT(pkt->hasFam || pkt->kind != PacketKind::Data,
                   "data packet reached FAM without a FAM address");
+    std::uint64_t addr = pkt->fam.value();
+    unsigned module = moduleOf(addr);
+    if (ParallelSim* psim = sim_.parallel()) {
+        // Sharded kernel: each module's banked state belongs to one
+        // partition; a mis-routed access would race with its owner.
+        FAMSIM_ASSERT(ParallelSim::currentPartition() ==
+                          psim->mediaPartition(module),
+                      "FAM access executed off the owning media "
+                      "partition");
+    }
     ++total_;
     switch (pkt->kind) {
       case PacketKind::Data: ++data_; break;
@@ -44,9 +57,6 @@ FamMedia::access(const PktPtr& pkt)
       case PacketKind::Broker: ++at_; ++broker_; break;
     }
 
-    std::uint64_t addr = pkt->fam.value();
-    unsigned module = static_cast<unsigned>(
-        (addr / params_.interleaveBytes) % modules_.size());
     modules_[module]->access(pkt, addr);
 }
 

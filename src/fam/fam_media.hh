@@ -40,8 +40,22 @@ class FamMedia : public Component
     FamMedia(Simulation& sim, const std::string& name,
              const FamMediaParams& params);
 
-    /** Service @p pkt (pkt->fam must be valid). */
+    /**
+     * Service @p pkt (pkt->fam must be valid). Under the parallel
+     * kernel the caller must be executing on the partition that owns
+     * the target module (asserted): requests arrive via the fabric's
+     * arbitrated delivery, broker bookkeeping via barrier-op
+     * scheduling, both of which route by moduleOf().
+     */
     void access(const PktPtr& pkt);
+
+    /** Module owning FAM address @p fam_addr (page interleaving). */
+    [[nodiscard]] unsigned
+    moduleOf(std::uint64_t fam_addr) const
+    {
+        return static_cast<unsigned>(
+            (fam_addr / params_.interleaveBytes) % modules_.size());
+    }
 
     [[nodiscard]] const FamMediaParams& params() const { return params_; }
     [[nodiscard]] BankedMemory& module(unsigned i) { return *modules_[i]; }
@@ -61,14 +75,18 @@ class FamMedia : public Component
   private:
     FamMediaParams params_;
     std::vector<std::unique_ptr<BankedMemory>> modules_;
-    Counter& total_;
-    Counter& at_;
-    Counter& data_;
-    Counter& famPtw_;
-    Counter& acm_;
-    Counter& bitmap_;
-    Counter& nodePtw_;
-    Counter& broker_;
+    // The classification aggregates span every media module, and the
+    // sharded parallel kernel runs each module on its own partition —
+    // SharedCounter (relaxed atomic) keeps the concurrent bumps safe;
+    // the totals are sums, so they stay thread-count-deterministic.
+    SharedCounter& total_;
+    SharedCounter& at_;
+    SharedCounter& data_;
+    SharedCounter& famPtw_;
+    SharedCounter& acm_;
+    SharedCounter& bitmap_;
+    SharedCounter& nodePtw_;
+    SharedCounter& broker_;
 };
 
 } // namespace famsim

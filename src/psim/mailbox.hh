@@ -5,48 +5,50 @@
  * Every ordered pair of partitions (src, dst) owns one Mailbox lane
  * per message kind. A lane is single-producer (only the worker thread
  * currently draining the src partition appends) and is consumed only
- * at window barriers by the worker that owns the dst partition, after
- * every producer has quiesced — the barrier itself provides the
- * happens-before edge, so a lane needs no locks and no atomics at all.
+ * at window barriers, after every producer has quiesced — the barrier
+ * itself provides the happens-before edge, so a lane needs no locks
+ * and no atomics at all.
  *
  * Determinism: messages in one lane sit in source execution order, so
  * the vector index doubles as the per-source sequence number. The
  * consumer merges all of its inbound lanes in (tick, srcPartition,
  * seq) order (see NodeQueue::drainInboxes), which makes the schedule
  * independent of worker count and thread interleaving.
+ *
+ * Payloads are InlineFunction, not std::function: std::function's
+ * 16-byte inline buffer heap-allocated once per fabric crossing for
+ * every delivery capture bigger than a pointer. The kMailboxInlineBytes
+ * budget keeps the common continuations (a component pointer plus a
+ * PktPtr, or a wrapped done-functor) in place; oversized chains fall
+ * back to one heap block, exactly as std::function always did.
  */
 
 #ifndef FAMSIM_PSIM_MAILBOX_HH
 #define FAMSIM_PSIM_MAILBOX_HH
 
 #include <cstddef>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace famsim {
 
+/** Inline capture budget for cross-partition message payloads. */
+inline constexpr std::size_t kMailboxInlineBytes = 144;
+
+/** Payload of a direct cross-partition post. */
+using PostFn = InlineFunction<void(), kMailboxInlineBytes>;
+
+/** Payload of an arbitrated send (receives the sender's tick). */
+using ArbFn = InlineFunction<void(Tick), kMailboxInlineBytes>;
+
 /** A cross-partition event with a precomputed delivery tick. */
 struct PostMsg {
-    /** Absolute delivery tick (>= send tick + the kernel lookahead). */
+    /** Absolute delivery tick (>= send tick + the edge lookahead). */
     Tick when = 0;
-    std::function<void()> fn;
-};
-
-/**
- * A cross-partition send whose delivery tick depends on destination
- * state (fabric channel serialization). The callback runs at the
- * barrier drain, on the destination partition, in merged (sent,
- * srcPartition, seq) order; it performs the arbitration against the
- * destination-owned state and schedules the actual delivery, which
- * must land at or after sent + lookahead.
- */
-struct ArbMsg {
-    /** The sender's tick when the message was posted. */
-    Tick sent = 0;
-    std::function<void(Tick sent)> fn;
+    PostFn fn;
 };
 
 /** One single-producer, barrier-drained message lane. */
@@ -55,15 +57,13 @@ class Mailbox
 {
   public:
     /** "Lane is empty" sentinel for minKey(). */
-    static constexpr Tick kNever = ~Tick{0};
+    static constexpr Tick kNever = kTickForever;
 
     /**
-     * Append @p msg with its pending-tick key — deliverTick for
-     * posts, the earliest possible delivery (sendTick + lookahead)
-     * for arbitrated sends (producer side; src partition's worker
-     * only). The key feeds the cached lane minimum so the
-     * coordinator's next-window scan reads one Tick per lane instead
-     * of walking every queued message.
+     * Append @p msg with its pending-tick key (the delivery tick;
+     * producer side, src partition's worker only). The key feeds the
+     * cached lane minimum so the coordinator's next-window scan reads
+     * one Tick per lane instead of walking every queued message.
      */
     void
     push(Msg msg, Tick key)

@@ -2,14 +2,16 @@
  * @file
  * One partition of the parallel simulation kernel: a private
  * EventQueue (the pooled 4-ary heap from src/sim/event_queue.hh) plus
- * the inbound mailbox lanes, one per source partition.
+ * the inbound direct-post mailbox lanes, one per source partition.
+ * (Arbitrated fabric sends live in ParallelSim's central lanes: they
+ * mutate the shared channel state, so they are merged and run
+ * single-threaded at the barrier, not per destination.)
  *
  * The owning worker drains the inboxes at the start of each window —
  * after the barrier, so every producer has quiesced — merging direct
- * posts in (deliverTick, srcPartition, seq) order and arbitrated
- * sends in (sendTick, srcPartition, seq) order before executing local
- * events. Merged insertions happen only at barriers and local events
- * are inserted in deterministic execution order, so the queue's
+ * posts in (deliverTick, srcPartition, seq) order before executing
+ * local events. Merged insertions happen only at barriers and local
+ * events are inserted in deterministic execution order, so the queue's
  * (tick, insertion-sequence) tie-break yields one schedule for every
  * worker count.
  */
@@ -37,7 +39,7 @@ class NodeQueue
      * @param partitions  total partition count (= inbound lane count).
      */
     NodeQueue(std::uint32_t id, std::uint32_t partitions)
-        : id_(id), postIn_(partitions), arbIn_(partitions)
+        : id_(id), postIn_(partitions)
     {
         queue_.setId(id);
     }
@@ -52,27 +54,18 @@ class NodeQueue
         return postIn_[src];
     }
 
-    /** Inbound arbitrated lane from partition @p src (producer side). */
-    [[nodiscard]] Mailbox<ArbMsg>& arbInbox(std::uint32_t src)
-    {
-        return arbIn_[src];
-    }
-
     /**
      * Earliest pending tick across the local queue and the inboxes
-     * (lane keys: deliverTick for posts, earliest possible delivery
-     * sendTick + lookahead for arbitrated sends). Only meaningful at
-     * a barrier. Reads each lane's cached minimum — one Tick per
-     * lane, not a message walk, which matters on the coordinator's
-     * serial section at 64-node partition counts.
+     * (lane key: deliverTick). Only meaningful at a barrier. Reads
+     * each lane's cached minimum — one Tick per lane, not a message
+     * walk, which matters on the coordinator's serial section at
+     * 64-node partition counts.
      */
     [[nodiscard]] Tick
     minPendingTick() const
     {
         Tick min = queue_.nextTick();
         for (const auto& lane : postIn_)
-            min = std::min(min, lane.minKey());
-        for (const auto& lane : arbIn_)
             min = std::min(min, lane.minKey());
         return min;
     }
@@ -84,23 +77,26 @@ class NodeQueue
             if (!lane.empty())
                 return false;
         }
-        for (const auto& lane : arbIn_) {
-            if (!lane.empty())
-                return false;
-        }
         return true;
     }
 
     /**
-     * Merge every inbound message into the local queue (owning worker,
-     * right after a barrier). Direct posts first, then arbitrated
-     * sends; each class in (tick, srcPartition, seq) order.
+     * Merge every inbound post into the local queue (owning worker,
+     * right after a barrier), in (tick, srcPartition, seq) order.
      */
     void
     drainInboxes()
     {
-        gatherScratch(postIn_,
-                      [](const PostMsg& msg) { return msg.when; });
+        scratch_.clear();
+        for (std::uint32_t src = 0; src < postIn_.size(); ++src) {
+            const auto& msgs = postIn_[src].messages();
+            for (std::uint32_t i = 0; i < msgs.size(); ++i)
+                scratch_.push_back({MergeKey{msgs[i].when, src, i}, i});
+        }
+        std::sort(scratch_.begin(), scratch_.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                  });
         for (const auto& [key, idx] : scratch_) {
             PostMsg& msg = postIn_[key.src].messages()[idx];
             FAMSIM_ASSERT(msg.when >= queue_.curTick(),
@@ -108,16 +104,6 @@ class NodeQueue
             queue_.schedule(msg.when, std::move(msg.fn));
         }
         for (auto& lane : postIn_)
-            lane.clear();
-
-        gatherScratch(arbIn_,
-                      [](const ArbMsg& msg) { return msg.sent; });
-        for (const auto& [key, idx] : scratch_) {
-            ArbMsg& msg = arbIn_[key.src].messages()[idx];
-            auto fn = std::move(msg.fn);
-            fn(msg.sent);
-        }
-        for (auto& lane : arbIn_)
             lane.clear();
     }
 
@@ -139,27 +125,10 @@ class NodeQueue
         }
     };
 
-    template <typename Msg, typename TickOf>
-    void
-    gatherScratch(std::vector<Mailbox<Msg>>& lanes, TickOf tick_of)
-    {
-        scratch_.clear();
-        for (std::uint32_t src = 0; src < lanes.size(); ++src) {
-            const auto& msgs = lanes[src].messages();
-            for (std::uint32_t i = 0; i < msgs.size(); ++i)
-                scratch_.push_back({MergeKey{tick_of(msgs[i]), src, i}, i});
-        }
-        std::sort(scratch_.begin(), scratch_.end(),
-                  [](const auto& a, const auto& b) {
-                      return a.first < b.first;
-                  });
-    }
-
     std::uint32_t id_;
     EventQueue queue_;
     /** Inbound lanes indexed by source partition. */
     std::vector<Mailbox<PostMsg>> postIn_;
-    std::vector<Mailbox<ArbMsg>> arbIn_;
     /** Merge scratch, reused across barriers. */
     std::vector<std::pair<MergeKey, std::uint32_t>> scratch_;
 };

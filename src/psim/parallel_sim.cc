@@ -3,24 +3,81 @@
 #include <algorithm>
 
 namespace famsim {
+namespace {
+
+/** Smallest finite entry of a lookahead matrix row. */
+Tick
+rowMin(const std::array<Tick, 3>& row)
+{
+    Tick min = ParallelSim::kNever;
+    for (Tick la : row)
+        min = std::min(min, la);
+    return min;
+}
+
+} // namespace
+
+ParallelSim::ParallelSim(Simulation& sim, const Topology& topo,
+                         unsigned threads)
+    : sim_(sim),
+      window_(std::min(topo.fabricLookahead, topo.brokerLookahead)),
+      // More workers than partitions can never help: every worker
+      // acknowledges every epoch, so the surplus would be pure
+      // barrier overhead.
+      pool_(std::max(1u, std::min(threads, topo.nodes + topo.mediaModules
+                                               + 1))),
+      nodes_(topo.nodes),
+      media_(topo.mediaModules)
+{
+    FAMSIM_ASSERT(topo.nodes >= 1 && topo.mediaModules >= 1,
+                  "sharded topology needs nodes and media modules");
+    FAMSIM_ASSERT(topo.fabricLookahead > 0 && topo.brokerLookahead > 0,
+                  "per-edge lookaheads must be positive");
+    auto node = static_cast<std::size_t>(Kind::Node);
+    auto mediaKind = static_cast<std::size_t>(Kind::Media);
+    auto broker = static_cast<std::size_t>(Kind::Broker);
+    for (auto& row : edge_)
+        row.fill(kNever);
+    edge_[node][mediaKind] = topo.fabricLookahead;
+    edge_[mediaKind][node] = topo.fabricLookahead;
+    edge_[node][broker] = topo.brokerLookahead;
+    edge_[broker][node] = topo.brokerLookahead;
+    edge_[mediaKind][broker] = topo.brokerLookahead;
+    edge_[broker][mediaKind] = topo.brokerLookahead;
+    init(topo.nodes + topo.mediaModules + 1);
+}
 
 ParallelSim::ParallelSim(Simulation& sim, std::uint32_t partitions,
                          Tick lookahead, unsigned threads)
     : sim_(sim),
       window_(lookahead),
-      // More workers than partitions can never help: every worker
-      // acknowledges every epoch, so the surplus would be pure
-      // barrier overhead.
       pool_(std::max(1u, std::min(threads, partitions))),
-      globalIn_(partitions + 1),
-      globalSeq_(partitions + 1, 0)
+      nodes_(partitions),
+      media_(0)
 {
     FAMSIM_ASSERT(partitions >= 1, "parallel kernel needs a partition");
-    FAMSIM_ASSERT(!sim.parallel(),
+    // Uniform peers: every pair may exchange messages at the same
+    // floor, reproducing the pre-sharding single-lookahead kernel.
+    for (auto& row : edge_)
+        row.fill(lookahead);
+    init(partitions);
+}
+
+void
+ParallelSim::init(std::uint32_t partitions)
+{
+    FAMSIM_ASSERT(!sim_.parallel(),
                   "a parallel kernel is already bound to this simulation");
     parts_.reserve(partitions);
     for (std::uint32_t p = 0; p < partitions; ++p)
         parts_.push_back(std::make_unique<NodeQueue>(p, partitions));
+    outBound_.reserve(partitions);
+    for (std::uint32_t p = 0; p < partitions; ++p)
+        outBound_.push_back(
+            rowMin(edge_[static_cast<std::size_t>(kindOf(p))]));
+    arbIn_.resize(partitions);
+    globalIn_.resize(partitions + 1);
+    globalSeq_.assign(partitions + 1, 0);
     sim_.setParallel(this);
 }
 
@@ -37,33 +94,77 @@ ParallelSim::sourceLane() const
 }
 
 void
-ParallelSim::post(std::uint32_t dst, Tick when, std::function<void()> fn)
+ParallelSim::post(std::uint32_t dst, Tick when, PostFn fn)
 {
     std::uint32_t src = currentPartition();
     FAMSIM_ASSERT(src != kNoPartition,
                   "cross-partition post from outside a partition");
     FAMSIM_ASSERT(dst < partitions(), "post to unknown partition ", dst);
-    FAMSIM_ASSERT(when >= parts_[src]->queue().curTick() + lookahead(),
-                  "cross-partition post violates the lookahead");
+    Tick la = lookaheadBetween(src, dst);
+    FAMSIM_ASSERT(la != kNever, "post on the edgeless partition pair ",
+                  src, " -> ", dst);
+    FAMSIM_ASSERT(when >= SyncWindow::satAdd(parts_[src]->queue().curTick(),
+                                             la),
+                  "cross-partition post violates the edge lookahead");
     parts_[dst]->postInbox(src).push(PostMsg{when, std::move(fn)}, when);
 }
 
 void
-ParallelSim::postArbitrated(std::uint32_t dst,
-                            std::function<void(Tick)> fn)
+ParallelSim::postArbitrated(std::uint32_t dst, ArbFn fn)
 {
     std::uint32_t src = currentPartition();
     FAMSIM_ASSERT(src != kNoPartition,
                   "arbitrated post from outside a partition");
     FAMSIM_ASSERT(dst < partitions(), "post to unknown partition ", dst);
+    Tick la = lookaheadBetween(src, dst);
+    FAMSIM_ASSERT(la != kNever,
+                  "arbitrated send on the edgeless partition pair ", src,
+                  " -> ", dst);
     Tick sent = parts_[src]->queue().curTick();
-    // Key the lane minimum at the earliest possible *delivery* — an
-    // arbitrated send can never land before sent + lookahead — so an
-    // otherwise-idle kernel opens the next window where the delivery
-    // can actually execute instead of paying a dead barrier round at
-    // the send tick.
-    parts_[dst]->arbInbox(src).push(ArbMsg{sent, std::move(fn)},
-                                    sent + lookahead());
+    arbIn_[src].sends.push_back(ArbSend{sent, dst, std::move(fn)});
+}
+
+void
+ParallelSim::drainArbitrated()
+{
+    // Rounds: a callback may itself post an arbitrated send (it runs
+    // with the destination as scheduling context), which lands in the
+    // lanes after the snapshot below — loop until the lanes stay
+    // empty, so nothing queued is ever dropped. drainArbitrated()
+    // always runs to empty lanes, which is what lets the window scan
+    // read real delivery ticks off the queues instead of lane keys.
+    for (;;) {
+        arbScratch_.clear();
+        arbGathered_.assign(arbIn_.size(), 0);
+        for (std::uint32_t src = 0; src < arbIn_.size(); ++src) {
+            const auto& sends = arbIn_[src].sends;
+            arbGathered_[src] =
+                static_cast<std::uint32_t>(sends.size());
+            for (std::uint32_t i = 0; i < sends.size(); ++i)
+                arbScratch_.push_back({{sends[i].sent, src}, i});
+        }
+        if (arbScratch_.empty())
+            return;
+        // Merged (sent, srcPartition, seq) order across every source
+        // and destination: the shared channel state is then touched by
+        // exactly one thread (the coordinator), deterministically.
+        std::sort(arbScratch_.begin(), arbScratch_.end());
+        for (const auto& [key, idx] : arbScratch_) {
+            // Re-index on every access: a re-entrant post may have
+            // grown (reallocated) the lane vector.
+            ArbSend& send = arbIn_[key.second].sends[idx];
+            Scope scope(*this, send.dst);
+            ArbFn fn = std::move(send.fn);
+            fn(send.sent);
+        }
+        // Erase exactly the executed (snapshot) prefix of each lane;
+        // re-entrant appends survive into the next round.
+        for (std::uint32_t src = 0; src < arbIn_.size(); ++src) {
+            auto& sends = arbIn_[src].sends;
+            sends.erase(sends.begin(),
+                        sends.begin() + arbGathered_[src]);
+        }
+    }
 }
 
 void
@@ -104,18 +205,18 @@ ParallelSim::collectGlobalOps()
 }
 
 void
-ParallelSim::runGlobalOpsBefore(Tick end)
+ParallelSim::runGlobalOpsThrough(Tick start)
 {
-    if (pendingGlobal_.empty() || pendingGlobal_.front().due >= end)
+    if (pendingGlobal_.empty() || pendingGlobal_.front().due > start)
         return;
-    // Barrier ops run with the fabric partition as scheduling context:
-    // broker bookkeeping traffic belongs there, and the workers are
+    // Barrier ops run with the broker partition as scheduling context:
+    // system-level bookkeeping belongs there, and the workers are
     // quiescent so touching any partition's state is safe.
     std::size_t taken = 0;
     {
-        Scope scope(*this, fabricPartition());
+        Scope scope(*this, brokerPartition());
         while (taken < pendingGlobal_.size() &&
-               pendingGlobal_[taken].due < end) {
+               pendingGlobal_[taken].due <= start) {
             auto fn = std::move(pendingGlobal_[taken].fn);
             ++taken;
             fn();
@@ -126,17 +227,55 @@ ParallelSim::runGlobalOpsBefore(Tick end)
                              static_cast<std::ptrdiff_t>(taken));
 }
 
-Tick
-ParallelSim::minPendingTick() const
+SyncWindow::Bounds
+ParallelSim::windowBounds() const
 {
-    Tick min = EventQueue::kForever;
-    for (const auto& part : parts_)
-        min = std::min(min, part->minPendingTick());
-    // pendingGlobal_ is sorted by (due, src, seq) and consumed from
-    // the front, so its minimum is the first element.
+    // One pass over the partitions computes both the window anchor
+    // (the global minimum pending tick) and the adaptive end (the
+    // earliest cross-partition commitment: a partition's earliest
+    // pending event plus its smallest outgoing edge; partitions that
+    // never send place no bound at all, their events drain in
+    // whatever window covers them). The per-partition scans read the
+    // queues and the cached post-lane minimums — the arbitration
+    // lanes are always empty here, drainArbitrated() runs to empty
+    // right before.
+    Tick next = EventQueue::kForever;
+    Tick horizon = SyncWindow::kTickMax;
+    for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+        Tick mp = parts_[p]->minPendingTick();
+        if (mp == EventQueue::kForever)
+            continue;
+        next = std::min(next, mp);
+        horizon = std::min(horizon, SyncWindow::satAdd(mp, outBound_[p]));
+    }
+    // pendingGlobal_ is sorted by (due, src, seq), so its minimum is
+    // the first element.
     if (!pendingGlobal_.empty())
-        min = std::min(min, pendingGlobal_.front().due);
-    return min;
+        next = std::min(next, pendingGlobal_.front().due);
+    if (next == EventQueue::kForever)
+        return SyncWindow::Bounds{next, SyncWindow::kTickMax};
+    // Global ops (sorted by due, so ops due <= next form a prefix —
+    // and, fault dues being conservative, every such due is `next`
+    // itself or a stale must-not-schedule warmup mark): a prefix op
+    // runs at this barrier and may schedule events from `next` onward
+    // on any partition, committing no earlier than next + the
+    // smallest edge anywhere. The first op due *after* the start caps
+    // the window so it runs exactly at its own barrier, never
+    // mid-window — readers of the state it mutates stay causally
+    // ordered.
+    if (!pendingGlobal_.empty() && pendingGlobal_.front().due <= next) {
+        horizon = std::min(horizon,
+                           SyncWindow::satAdd(next, window_.lookahead()));
+    }
+    for (const GlobalOp& op : pendingGlobal_) {
+        if (op.due > next) {
+            horizon = std::min(horizon, op.due);
+            break;
+        }
+    }
+    FAMSIM_ASSERT(horizon > next, "no commit horizon past the window "
+                                  "start");
+    return SyncWindow::Bounds{next, horizon};
 }
 
 std::uint64_t
@@ -144,12 +283,15 @@ ParallelSim::run()
 {
     for (;;) {
         collectGlobalOps();
-        Tick next = minPendingTick();
-        if (next == EventQueue::kForever)
+        // Arbitrate all queued fabric sends first: the deliveries land
+        // on their destination queues, so the window scan below sees
+        // real delivery ticks instead of conservative floors.
+        drainArbitrated();
+        SyncWindow::Bounds bounds = windowBounds();
+        if (bounds.start == EventQueue::kForever)
             break;
-        auto [start, end] = window_.open(next);
-        (void)start;
-        runGlobalOpsBefore(end);
+        auto [start, end] = window_.open(bounds.start, bounds.end);
+        runGlobalOpsThrough(start);
         // Two phases per window, each a full barrier. Drains must not
         // overlap execution: a partition already running the new
         // window would otherwise append to the very lanes another

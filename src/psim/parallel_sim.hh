@@ -4,34 +4,50 @@
  *
  * The simulated system is split into partitions: one per compute node
  * (the node's cores, caches, TLBs, walkers, OS, DRAM, FAM translator
- * and STU) plus one fabric/FAM partition (the shared FabricLink,
- * FamMedia, MemoryBroker and ACM store). Each partition owns a
- * NodeQueue; a fixed WorkerPool executes all partitions' events for
- * one SyncWindow at a time, entirely without locks, because every
- * cross-partition interaction has at least `lookahead` ticks of
- * latency:
+ * and STU), one per FAM media module (the module's banked NVM plus the
+ * AT/ACM traffic it serves), and one for the MemoryBroker (the
+ * scheduling context for system-level bookkeeping). Each partition
+ * owns a NodeQueue; a fixed WorkerPool executes all partitions' events
+ * for one SyncWindow at a time, entirely without locks, because every
+ * cross-partition interaction has a floor latency given by the
+ * per-edge lookahead matrix:
  *
- *  - fabric request sends (STU/E-FAM path -> media) arrive after the
- *    one-way fabric latency plus serialization queueing;
- *  - fabric response sends (media -> STU/node) likewise;
- *  - system-level fault service at the broker takes its service
- *    latency (>= lookahead by construction of the window).
+ *  - node <-> media: the fabric's one-way latency (request sends from
+ *    the STU/E-FAM path, response sends from the media);
+ *  - anything <-> broker: the broker's fault service latency.
  *
- * Cross-partition traffic travels through single-producer Mailbox
+ * Direct cross-partition posts travel through single-producer Mailbox
  * lanes drained at the window barriers in (tick, srcPartition, seq)
- * order, so the merged schedule — and therefore every statistic — is
- * byte-identical for any worker count. Request-channel arbitration
- * (the shared fabric's serialization state) is deferred to the drain
- * on the fabric partition: the channel-busy bookkeeping is touched by
- * exactly one thread, in deterministic merge order, using the
- * sender's tick.
+ * order. Fabric sends are *arbitrated*: the shared channel's
+ * serialization state (channelFree) is one resource spanning every
+ * media partition, so all sends from all sources are merged in
+ * (sendTick, srcPartition, seq) order and arbitrated single-threaded
+ * by the coordinator at the barrier, each callback then scheduling its
+ * delivery on the destination partition's queue. The merged schedule —
+ * and therefore every statistic — is byte-identical for any worker
+ * count.
+ *
+ * Windows are adaptive: the coordinator opens each window at the
+ * global minimum pending tick and extends it to the earliest possible
+ * cross-partition *commitment* — min over partitions p of (earliest
+ * pending tick of p + p's smallest outgoing edge lookahead), clamped
+ * by pending global-op due ticks. A partition with pending work
+ * bounded only by a large outgoing lookahead (or none at all, if it
+ * never sends) no longer forces fabric-latency-sized steps on
+ * everyone else. See DESIGN.md "Parallel kernel" for the safety
+ * argument.
  *
  * Operations that must mutate state read concurrently by several
  * partitions (broker fault resolution: the FAM pool allocator, the
  * ACM flat map, a node's system-level page table) run as *global
  * barrier ops*: single-threaded, between windows, ordered by (due
  * tick, srcPartition, seq). They may only mutate quiescent state and
- * schedule events at or after their due tick.
+ * schedule events at or after their due tick; an op runs at the
+ * barrier whose window starts at (or after) its due tick, so no
+ * partition has executed past the due when it runs. An op posted with
+ * due inside its own window (the warmup reset) runs at the next
+ * barrier but must not schedule: the queues have already run past its
+ * due tick.
  *
  * The parallel schedule is deliberately *not* identical to the legacy
  * serial one (same-tick cross-partition ties resolve by (tick, src,
@@ -44,6 +60,7 @@
 #ifndef FAMSIM_PSIM_PARALLEL_SIM_HH
 #define FAMSIM_PSIM_PARALLEL_SIM_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -65,16 +82,46 @@ class ParallelSim
     /** "Not inside any partition" marker. */
     static constexpr std::uint32_t kNoPartition = ~std::uint32_t{0};
 
+    /** "No such edge" marker in the lookahead matrix. */
+    static constexpr Tick kNever = kTickForever;
+
+    /** Partition roles in the sharded FAM topology. */
+    enum class Kind : std::uint8_t { Node = 0, Media = 1, Broker = 2 };
+
     /**
-     * Binds itself to @p sim (Simulation::parallel()) for its
-     * lifetime; unbinds on destruction.
+     * The sharded fabric/FAM topology: partitions are laid out as
+     * [0, nodes) compute nodes, [nodes, nodes + mediaModules) FAM
+     * media modules, and one broker partition last. The two latencies
+     * populate the per-edge lookahead matrix (node<->media edges get
+     * the fabric latency, every edge touching the broker gets the
+     * fault service latency; same-kind pairs have no edge — using one
+     * is a modeling bug and panics).
+     */
+    struct Topology {
+        std::uint32_t nodes = 0;
+        std::uint32_t mediaModules = 0;
+        Tick fabricLookahead = 0; //!< node<->media floor (one-way fabric)
+        Tick brokerLookahead = 0; //!< *<->broker floor (fault service)
+    };
+
+    /**
+     * Sharded-topology kernel. Binds itself to @p sim
+     * (Simulation::parallel()) for its lifetime; unbinds on
+     * destruction.
      *
-     * @param partitions total partitions (nodes + 1 for fabric/FAM).
-     * @param lookahead  conservative window width in ticks (> 0).
-     * @param threads    worker threads, caller included (>= 1).
+     * @param threads worker threads, caller included (>= 1).
+     */
+    ParallelSim(Simulation& sim, const Topology& topo, unsigned threads);
+
+    /**
+     * Uniform test topology: @p partitions peer partitions, every edge
+     * with the same @p lookahead, the last partition doubling as the
+     * global-op scheduling context. Window behavior matches the
+     * pre-sharding kernel exactly.
      */
     ParallelSim(Simulation& sim, std::uint32_t partitions, Tick lookahead,
                 unsigned threads);
+
     ~ParallelSim();
 
     ParallelSim(const ParallelSim&) = delete;
@@ -85,14 +132,56 @@ class ParallelSim
         return static_cast<std::uint32_t>(parts_.size());
     }
 
-    /** The shared fabric/FAM partition (by convention the last one). */
-    [[nodiscard]] std::uint32_t fabricPartition() const
+    /** Partition of compute node @p node. */
+    [[nodiscard]] std::uint32_t nodePartition(std::uint32_t node) const
+    {
+        return node;
+    }
+
+    /** Partition owning FAM media module @p module. */
+    [[nodiscard]] std::uint32_t mediaPartition(std::uint32_t module) const
+    {
+        return nodes_ + module;
+    }
+
+    /**
+     * The broker partition (by convention the last one): the memory
+     * broker's home and the scheduling context for global barrier ops.
+     */
+    [[nodiscard]] std::uint32_t brokerPartition() const
     {
         return partitions() - 1;
     }
 
+    [[nodiscard]] Kind
+    kindOf(std::uint32_t partition) const
+    {
+        if (partition < nodes_)
+            return Kind::Node;
+        if (partition < nodes_ + media_)
+            return Kind::Media;
+        return Kind::Broker;
+    }
+
+    /**
+     * Lookahead floor of the (src, dst) edge; kNever when the model
+     * never sends on that pair.
+     */
+    [[nodiscard]] Tick
+    lookaheadBetween(std::uint32_t src, std::uint32_t dst) const
+    {
+        return edge_[static_cast<std::size_t>(kindOf(src))]
+                    [static_cast<std::size_t>(kindOf(dst))];
+    }
+
+    /** The smallest finite edge lookahead (the base window width). */
     [[nodiscard]] Tick lookahead() const { return window_.lookahead(); }
     [[nodiscard]] std::uint64_t epoch() const { return window_.epoch(); }
+    /** Windows that opened wider than the base lookahead. */
+    [[nodiscard]] std::uint64_t widenedEpochs() const
+    {
+        return window_.widened();
+    }
     [[nodiscard]] unsigned threads() const { return pool_.threads(); }
 
     [[nodiscard]] EventQueue& queueOf(std::uint32_t partition)
@@ -129,33 +218,34 @@ class ParallelSim
 
     /**
      * Cross-partition post: run @p fn on @p dst at absolute tick
-     * @p when, which must respect the lookahead relative to the
-     * sender's current tick.
+     * @p when, which must respect the (src, dst) edge lookahead
+     * relative to the sender's current tick.
      */
-    void post(std::uint32_t dst, Tick when, std::function<void()> fn);
+    void post(std::uint32_t dst, Tick when, PostFn fn);
 
     /**
      * Arbitrated cross-partition send: at the next barrier, @p fn
-     * (sendTick) runs on @p dst in merged (sendTick, srcPartition,
-     * seq) order; it must itself schedule the delivery at or after
-     * sendTick + lookahead. Used for the shared fabric's
-     * request-channel serialization.
+     * (sendTick) runs on @p dst — single-threaded, merged across all
+     * sources and destinations in (sendTick, srcPartition, seq) order
+     * — and must itself schedule the delivery at or after sendTick +
+     * the edge lookahead. Used for the shared fabric's channel
+     * serialization, whose state spans every media partition.
      */
-    void postArbitrated(std::uint32_t dst, std::function<void(Tick)> fn);
+    void postArbitrated(std::uint32_t dst, ArbFn fn);
 
     /**
-     * Global barrier op: before the window containing @p due opens,
-     * run @p fn single-threaded (all workers quiescent), with the
-     * fabric partition as the scheduling context. Ops run in (due,
-     * srcPartition, seq) order. @p fn may mutate otherwise
-     * read-shared state; it may schedule events only when @p due
-     * respects the lookahead from the posting tick (due >= post tick
-     * + lookahead, as the broker's fault service guarantees), and
-     * then only at ticks >= @p due — every queue has then advanced
-     * at most to @p due's window start. An op posted with due inside
-     * its own window (the warmup reset) runs at the next barrier but
-     * must not schedule: the queues have already run past its due
-     * tick.
+     * Global barrier op: at the first barrier whose window start is at
+     * or past @p due, run @p fn single-threaded (all workers
+     * quiescent), with the broker partition as the scheduling context.
+     * Ops run in (due, srcPartition, seq) order. @p fn may mutate
+     * otherwise read-shared state; it may schedule events only when
+     * @p due respects the poster's outgoing lookahead floor (due >=
+     * post tick + the broker edge lookahead, as the broker's fault
+     * service guarantees), and then only at ticks >= @p due — no
+     * queue has executed past @p due when the op runs. An op posted
+     * with due inside its own window (the warmup reset) runs at the
+     * next barrier but must not schedule: the queues have already run
+     * past its due tick.
      */
     void postGlobal(Tick due, std::function<void()> fn);
 
@@ -174,6 +264,19 @@ class ParallelSim
          *  deterministic order. */
         std::uint64_t seq;
         std::function<void()> fn;
+    };
+
+    /** One queued arbitrated send (central lane, indexed by source). */
+    struct ArbSend {
+        Tick sent;
+        std::uint32_t dst;
+        ArbFn fn;
+    };
+
+    /** Per-source arbitration lane: single-producer, coordinator-
+     *  consumed (to empty) at every barrier. */
+    struct ArbLane {
+        std::vector<ArbSend> sends;
     };
 
     /**
@@ -196,18 +299,49 @@ class ParallelSim
         Scope& operator=(const Scope&) = delete;
     };
 
+    void init(std::uint32_t partitions);
+
     /** Source lane index for the calling context (main thread posts
      *  from the virtual lane `partitions()`). */
     [[nodiscard]] std::uint32_t sourceLane() const;
 
-    [[nodiscard]] Tick minPendingTick() const;
+    /**
+     * One barrier-time pass over the pending state: the window anchor
+     * (global minimum pending tick; kForever start means fully
+     * drained) and the adaptive end (earliest possible cross-partition
+     * commitment, clamped by pending global-op dues).
+     */
+    [[nodiscard]] SyncWindow::Bounds windowBounds() const;
+
+    /** Merge + run all queued arbitrated sends, to empty lanes,
+     *  looping over rounds if a callback posts more (coordinator
+     *  only). */
+    void drainArbitrated();
+
     void collectGlobalOps();
-    void runGlobalOpsBefore(Tick end);
+
+    /** Run pending global ops with due <= @p start, in order. */
+    void runGlobalOpsThrough(Tick start);
 
     Simulation& sim_;
     SyncWindow window_;
     WorkerPool pool_;
+    std::uint32_t nodes_ = 0; //!< node partition count
+    std::uint32_t media_ = 0; //!< media partition count
+    /** Per-edge lookahead floors, indexed by (src Kind, dst Kind). */
+    std::array<std::array<Tick, 3>, 3> edge_{};
+    /** Per-partition minimum outgoing edge lookahead. */
+    std::vector<Tick> outBound_;
+
     std::vector<std::unique_ptr<NodeQueue>> parts_;
+
+    /** Central arbitration lanes, one per source partition. */
+    std::vector<ArbLane> arbIn_;
+    /** Arbitration merge scratch: (sent, src, idx), reused. */
+    std::vector<std::pair<std::pair<Tick, std::uint32_t>, std::uint32_t>>
+        arbScratch_;
+    /** Per-lane snapshot sizes of the current arbitration round. */
+    std::vector<std::uint32_t> arbGathered_;
 
     /** Barrier-op lanes, one per source partition plus the main
      *  thread; single-producer, merged at barriers. */

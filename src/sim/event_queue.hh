@@ -38,7 +38,7 @@ class EventQueue
 {
   public:
     /** Sentinel limit for run(): execute until the queue drains. */
-    static constexpr Tick kForever = ~Tick{0};
+    static constexpr Tick kForever = kTickForever;
 
     EventQueue() = default;
     ~EventQueue() { destroyPending(); }

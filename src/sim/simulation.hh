@@ -133,6 +133,13 @@ class Component
         return sim_.stats().counter(name_ + "." + leaf, desc);
     }
 
+    /** Register a thread-shared counter under this component's prefix. */
+    SharedCounter&
+    statSharedCounter(const std::string& leaf, const std::string& desc)
+    {
+        return sim_.stats().sharedCounter(name_ + "." + leaf, desc);
+    }
+
     /** Register a scalar under this component's name prefix. */
     Scalar&
     statScalar(const std::string& leaf, const std::string& desc)

@@ -102,7 +102,7 @@ StatRegistry::counter(const std::string& name, const std::string& desc)
 {
     auto& entry = entries_[name];
     if (!entry.counter) {
-        FAMSIM_ASSERT(!entry.scalar && !entry.histogram,
+        FAMSIM_ASSERT(!entry.shared && !entry.scalar && !entry.histogram,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.counter = std::make_unique<Counter>();
@@ -110,12 +110,26 @@ StatRegistry::counter(const std::string& name, const std::string& desc)
     return *entry.counter;
 }
 
+SharedCounter&
+StatRegistry::sharedCounter(const std::string& name,
+                            const std::string& desc)
+{
+    auto& entry = entries_[name];
+    if (!entry.shared) {
+        FAMSIM_ASSERT(!entry.counter && !entry.scalar && !entry.histogram,
+                      "stat '", name, "' re-registered with another type");
+        entry.desc = desc;
+        entry.shared = std::make_unique<SharedCounter>();
+    }
+    return *entry.shared;
+}
+
 Scalar&
 StatRegistry::scalar(const std::string& name, const std::string& desc)
 {
     auto& entry = entries_[name];
     if (!entry.scalar) {
-        FAMSIM_ASSERT(!entry.counter && !entry.histogram,
+        FAMSIM_ASSERT(!entry.counter && !entry.shared && !entry.histogram,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.scalar = std::make_unique<Scalar>();
@@ -129,7 +143,7 @@ StatRegistry::histogram(const std::string& name, const std::string& desc,
 {
     auto& entry = entries_[name];
     if (!entry.histogram) {
-        FAMSIM_ASSERT(!entry.counter && !entry.scalar,
+        FAMSIM_ASSERT(!entry.counter && !entry.shared && !entry.scalar,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.histogram = std::make_unique<Histogram>(bucket_width, buckets);
@@ -143,8 +157,8 @@ StatRegistry::get(const std::string& name) const
     auto it = entries_.find(name);
     if (it == entries_.end())
         FAMSIM_PANIC("unknown stat '", name, "'");
-    if (it->second.counter)
-        return static_cast<double>(it->second.counter->value());
+    if (std::uint64_t count = 0; it->second.countValue(count))
+        return static_cast<double>(count);
     if (it->second.scalar)
         return it->second.scalar->value();
     FAMSIM_PANIC("stat '", name, "' has no scalar value");
@@ -164,8 +178,8 @@ StatRegistry::sumMatching(const std::string& suffix) const
         if (name.size() >= suffix.size() &&
             name.compare(name.size() - suffix.size(), suffix.size(),
                          suffix) == 0) {
-            if (entry.counter)
-                sum += static_cast<double>(entry.counter->value());
+            if (std::uint64_t count = 0; entry.countValue(count))
+                sum += static_cast<double>(count);
             else if (entry.scalar)
                 sum += entry.scalar->value();
         }
@@ -179,6 +193,8 @@ StatRegistry::resetAll()
     for (auto& [name, entry] : entries_) {
         if (entry.counter)
             entry.counter->reset();
+        if (entry.shared)
+            entry.shared->reset();
         if (entry.scalar)
             entry.scalar->reset();
         if (entry.histogram)
@@ -191,8 +207,8 @@ StatRegistry::dump(std::ostream& os) const
 {
     for (const auto& [name, entry] : entries_) {
         os << std::left << std::setw(52) << name << " ";
-        if (entry.counter) {
-            os << std::setw(16) << entry.counter->value();
+        if (std::uint64_t count = 0; entry.countValue(count)) {
+            os << std::setw(16) << count;
         } else if (entry.scalar) {
             os << std::setw(16) << entry.scalar->value();
         } else if (entry.histogram) {
@@ -208,8 +224,8 @@ void
 StatRegistry::dumpCsv(std::ostream& os) const
 {
     for (const auto& [name, entry] : entries_) {
-        if (entry.counter)
-            os << name << "," << entry.counter->value() << "\n";
+        if (std::uint64_t count = 0; entry.countValue(count))
+            os << name << "," << count << "\n";
         else if (entry.scalar)
             os << name << "," << entry.scalar->value() << "\n";
     }
@@ -229,8 +245,8 @@ StatRegistry::dumpJson(std::ostream& os, int indent) const
         os << "\n" << inner;
         json::writeString(os, name);
         os << ": ";
-        if (entry.counter) {
-            os << entry.counter->value();
+        if (std::uint64_t count = 0; entry.countValue(count)) {
+            os << count;
         } else if (entry.scalar) {
             json::writeNumber(os, entry.scalar->value());
         } else if (entry.histogram) {

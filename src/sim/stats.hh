@@ -11,6 +11,7 @@
 #ifndef FAMSIM_SIM_STATS_HH
 #define FAMSIM_SIM_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -45,6 +46,46 @@ class Counter
 
   private:
     std::uint64_t value_ = 0;
+};
+
+/**
+ * A counter whose increments may arrive concurrently from several
+ * worker threads (relaxed atomic adds). Totals are sums, and sums are
+ * order-independent, so a SharedCounter stays deterministic across
+ * thread counts even though the interleaving is not. Used for
+ * aggregates that span partitions of the parallel kernel (e.g. the
+ * FAM media's request classification, incremented by every media
+ * module's partition); everything partition-local stays a plain
+ * Counter, which is cheaper to bump.
+ */
+class SharedCounter
+{
+  public:
+    SharedCounter&
+    operator++()
+    {
+        value_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+
+    SharedCounter&
+    operator+=(std::uint64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+        return *this;
+    }
+
+    [[nodiscard]] std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Only valid while writers are quiescent (warmup barrier/teardown). */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /** A floating-point scalar statistic (set, not accumulated). */
@@ -95,6 +136,9 @@ class StatRegistry
   public:
     /** Create (or fetch) a counter. Re-registering returns the original. */
     Counter& counter(const std::string& name, const std::string& desc);
+    /** Create (or fetch) a thread-shared counter. */
+    SharedCounter& sharedCounter(const std::string& name,
+                                 const std::string& desc);
     /** Create (or fetch) a scalar. */
     Scalar& scalar(const std::string& name, const std::string& desc);
     /** Create (or fetch) a histogram. */
@@ -130,8 +174,24 @@ class StatRegistry
     struct Entry {
         std::string desc;
         std::unique_ptr<Counter> counter;
+        std::unique_ptr<SharedCounter> shared;
         std::unique_ptr<Scalar> scalar;
         std::unique_ptr<Histogram> histogram;
+
+        /** Integer value of the counter flavor held, if any. */
+        [[nodiscard]] bool
+        countValue(std::uint64_t& out) const
+        {
+            if (counter) {
+                out = counter->value();
+                return true;
+            }
+            if (shared) {
+                out = shared->value();
+                return true;
+            }
+            return false;
+        }
     };
 
     std::map<std::string, Entry> entries_;

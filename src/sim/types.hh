@@ -25,6 +25,14 @@ using Tick = std::uint64_t;
 /** Core clock cycles (frequency-dependent; see Core::period()). */
 using Cycle = std::uint64_t;
 
+/**
+ * The largest representable tick. The single source for every
+ * "never / forever" sentinel (EventQueue::kForever, the parallel
+ * kernel's lane and edge sentinels, SyncWindow's saturation ceiling),
+ * so the aliases can never drift apart.
+ */
+inline constexpr Tick kTickForever = ~Tick{0};
+
 /** One picosecond. */
 inline constexpr Tick kPicosecond = 1;
 /** One nanosecond in ticks. */

@@ -379,9 +379,9 @@ Stu::forwardToFam(const PktPtr& pkt)
     // chain at every fabric traversal.
     pkt->onDone = [this, pkt, orig = std::move(orig),
                    tracked](Packet&) mutable {
-        fabric_.send(FabricLink::Response, node_,
-                     [this, pkt, orig = std::move(orig),
-                      tracked]() mutable {
+        fabric_.sendResponse(node_,
+                             [this, pkt, orig = std::move(orig),
+                              tracked]() mutable {
             sim_.events().scheduleAfter(
                 params_.nodeLinkLatency,
                 [this, pkt, orig = std::move(orig), tracked] {
@@ -400,8 +400,8 @@ Stu::forwardToFam(const PktPtr& pkt)
                 });
         });
     };
-    fabric_.send(FabricLink::Request, node_,
-                 [this, pkt] { media_.access(pkt); });
+    fabric_.sendRequest(media_.moduleOf(pkt->fam.value()),
+                        [this, pkt] { media_.access(pkt); });
 }
 
 void
@@ -414,11 +414,11 @@ Stu::sendFamAccess(const PktPtr& origin, FamAddr addr, MemOp op,
     pkt->hasFam = true;
     pkt->issued = sim_.curTick();
     pkt->onDone = [this, done = std::move(done)](Packet&) mutable {
-        fabric_.send(FabricLink::Response, node_,
-                     [done = std::move(done)] { done(); });
+        fabric_.sendResponse(node_,
+                             [done = std::move(done)] { done(); });
     };
-    fabric_.send(FabricLink::Request, node_,
-                 [this, pkt] { media_.access(pkt); });
+    fabric_.sendRequest(media_.moduleOf(pkt->fam.value()),
+                        [this, pkt] { media_.access(pkt); });
 }
 
 void

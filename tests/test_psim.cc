@@ -91,6 +91,16 @@ INSTANTIATE_TEST_SUITE_P(SweepPoints, ParallelDeterminism,
                          testing::ValuesIn(goldenSweepPointNames()),
                          testId);
 
+// The 32/64-node scaling points exercise the sharded kernel at the
+// partition counts the fig16 extension targets (64 nodes = 129
+// partitions); they are not golden-pinned (no serial reference files),
+// so they appear here, in the 1-vs-N matrix, only.
+INSTANTIATE_TEST_SUITE_P(
+    ScalingPoints, ParallelDeterminism,
+    testing::Values(std::string("fig16_num_nodes.n32"),
+                    std::string("fig16_num_nodes.n64")),
+    testId);
+
 /** Runtime system-level faults (prefault off) take the barrier-op
  *  path through the broker; it must be just as deterministic. */
 TEST(ParallelDeterminismExtra, RuntimeBrokerFaultsAreDeterministic)
@@ -261,6 +271,133 @@ TEST(WorkerPool, SingleThreadRunsInline)
     pool.runEpoch(0, [&](std::size_t) { FAIL() << "no tasks expected"; });
 }
 
+// -------------------------------------------------- per-edge lookahead
+
+/** The famSystem topology used by the sharded-kernel units: two nodes,
+ *  two media modules, a broker; fabric edge 100, broker edge 1000. */
+ParallelSim::Topology
+famTopology()
+{
+    ParallelSim::Topology topo;
+    topo.nodes = 2;
+    topo.mediaModules = 2;
+    topo.fabricLookahead = 100;
+    topo.brokerLookahead = 1000;
+    return topo;
+}
+
+TEST(PerEdgeLookahead, TopologyLaysOutNodesMediaBroker)
+{
+    Simulation sim;
+    ParallelSim psim(sim, famTopology(), 1);
+    EXPECT_EQ(psim.partitions(), 5u);
+    EXPECT_EQ(psim.nodePartition(1), 1u);
+    EXPECT_EQ(psim.mediaPartition(0), 2u);
+    EXPECT_EQ(psim.mediaPartition(1), 3u);
+    EXPECT_EQ(psim.brokerPartition(), 4u);
+    EXPECT_EQ(psim.kindOf(0), ParallelSim::Kind::Node);
+    EXPECT_EQ(psim.kindOf(2), ParallelSim::Kind::Media);
+    EXPECT_EQ(psim.kindOf(4), ParallelSim::Kind::Broker);
+    // The matrix: node<->media at the fabric latency, broker edges at
+    // the service latency, same-kind pairs edgeless.
+    EXPECT_EQ(psim.lookaheadBetween(0, 2), 100u);
+    EXPECT_EQ(psim.lookaheadBetween(3, 1), 100u);
+    EXPECT_EQ(psim.lookaheadBetween(0, 4), 1000u);
+    EXPECT_EQ(psim.lookaheadBetween(4, 2), 1000u);
+    EXPECT_EQ(psim.lookaheadBetween(0, 1), ParallelSim::kNever);
+    EXPECT_EQ(psim.lookaheadBetween(2, 3), ParallelSim::kNever);
+    // The base window width is the smallest finite edge.
+    EXPECT_EQ(psim.lookahead(), 100u);
+    psim.run();
+}
+
+/** post() enforces the (src, dst) edge floor, not a single global
+ *  lookahead — and panics outright on edgeless pairs. */
+TEST(PerEdgeLookahead, PostsEnforceTheEdgeFloors)
+{
+    ScopedThrowOnError throw_on_error;
+    Simulation sim;
+    ParallelSim psim(sim, famTopology(), 1);
+    psim.withPartition(0, [&] {
+        sim.events().schedule(10, [&] {
+            // node -> media rides the fabric edge (100)...
+            EXPECT_THROW(psim.post(2, 109, [] {}), SimError);
+            psim.post(2, 110, [] {});
+            // ...node -> broker the service edge (1000)...
+            EXPECT_THROW(psim.post(4, 110, [] {}), SimError);
+            psim.post(4, 1010, [] {});
+            // ...and node -> node has no edge at all.
+            EXPECT_THROW(psim.post(1, 100000, [] {}), SimError);
+        });
+    });
+    psim.run();
+}
+
+/**
+ * Window ends follow the per-partition outgoing floors: a window
+ * opened by media-only work extends one fabric lookahead past its
+ * earliest pending event, exactly like node work — but a window
+ * opened by work on a partition whose cheapest outgoing edge is the
+ * broker's would extend a full service latency.
+ */
+TEST(PerEdgeLookahead, WindowBoundsFollowTheMatrix)
+{
+    Simulation sim;
+    ParallelSim psim(sim, famTopology(), 1);
+    // Pending work on media module 0 only: window [7, 7 + 100).
+    psim.withPartition(2, [&] { sim.events().schedule(7, [] {}); });
+    psim.run();
+    EXPECT_EQ(psim.epoch(), 1u);
+    EXPECT_EQ(psim.queueOf(2).curTick(), 106u);
+}
+
+// --------------------------------------------------- adaptive windows
+
+/**
+ * Adaptive widening: the window end is the earliest cross-partition
+ * *commitment*, not start + base lookahead. Broker-partition work
+ * (cheapest outgoing edge = 1000) spread over 5 base lookaheads plus
+ * an idle-gapped node event all drain in a single window where the
+ * fixed scheme would have paid a barrier per 100-tick step: the end
+ * is min(10 + 1000, 900 + 100) = 1000.
+ */
+TEST(AdaptiveWindow, IdleGapDrainsInOneEpoch)
+{
+    Simulation sim;
+    ParallelSim psim(sim, famTopology(), 1);
+    std::uint64_t broker_events = 0;
+    psim.withPartition(psim.brokerPartition(), [&] {
+        for (Tick t = 10; t <= 510; t += 100)
+            sim.events().schedule(t, [&broker_events] { ++broker_events; });
+    });
+    bool node_ran = false;
+    psim.withPartition(0, [&] {
+        sim.events().schedule(900, [&node_ran] { node_ran = true; });
+    });
+    psim.run();
+    EXPECT_EQ(broker_events, 6u);
+    EXPECT_TRUE(node_ran);
+    EXPECT_EQ(psim.epoch(), 1u) << "idle gap must drain in one window";
+    EXPECT_EQ(psim.widenedEpochs(), 1u);
+}
+
+/** The uniform (test) topology reproduces the fixed-width windows:
+ *  same-tick spacing beyond the lookahead costs one epoch per hop. */
+TEST(AdaptiveWindow, UniformTopologyKeepsFixedWidth)
+{
+    Simulation sim;
+    ParallelSim psim(sim, /*partitions=*/2, /*lookahead=*/100, 1);
+    psim.withPartition(0, [&] {
+        sim.events().schedule(10, [] {});
+        sim.events().schedule(250, [] {});
+    });
+    psim.run();
+    // [10, 110) then [250, 350): the gap is skipped, the width is not
+    // widened (a uniform peer could send at any executed tick + 100).
+    EXPECT_EQ(psim.epoch(), 2u);
+    EXPECT_EQ(psim.widenedEpochs(), 0u);
+}
+
 // ------------------------------------------------------- sync window
 
 TEST(SyncWindow, OpensAtMinPendingAndTracksEpochs)
@@ -286,13 +423,45 @@ TEST(SyncWindow, RejectsZeroLookaheadAndBackwardWindows)
     EXPECT_THROW((void)window.open(50), SimError);
 }
 
+TEST(SyncWindow, WidenedWindowsAreCounted)
+{
+    SyncWindow window(100);
+    auto bounds = window.open(10, 1000); // adaptive horizon
+    EXPECT_EQ(bounds.start, 10u);
+    EXPECT_EQ(bounds.end, 1000u);
+    EXPECT_EQ(window.widened(), 1u);
+    bounds = window.open(2000, 2100); // exactly the base width
+    EXPECT_EQ(window.widened(), 1u);
+    EXPECT_EQ(window.epoch(), 2u);
+}
+
+/** Near the Tick horizon the window end saturates instead of
+ *  wrapping (a wrapped end would open a backwards, empty window). */
+TEST(SyncWindow, WindowEndSaturatesAtTheTickHorizon)
+{
+    ScopedThrowOnError throw_on_error;
+    EXPECT_EQ(SyncWindow::satAdd(SyncWindow::kTickMax - 5, 100),
+              SyncWindow::kTickMax);
+    EXPECT_EQ(SyncWindow::satAdd(7, SyncWindow::kTickMax),
+              SyncWindow::kTickMax);
+    EXPECT_EQ(SyncWindow::satAdd(7, 100), 107u);
+
+    SyncWindow window(100);
+    auto bounds = window.open(SyncWindow::kTickMax - 5);
+    EXPECT_EQ(bounds.end, SyncWindow::kTickMax);
+    // An empty (or wrapped) window is a kernel bug and must be caught.
+    EXPECT_THROW((void)window.open(SyncWindow::kTickMax,
+                                   SyncWindow::kTickMax),
+                 SimError);
+}
+
 // ------------------------------------------------- queue-id handle
 
 TEST(QueueHandle, PartitionQueuesCarryTheirIdAndNextTick)
 {
     Simulation sim;
     ParallelSim psim(sim, 3, /*lookahead=*/10, 1);
-    EXPECT_EQ(psim.fabricPartition(), 2u);
+    EXPECT_EQ(psim.brokerPartition(), 2u);
     for (std::uint32_t p = 0; p < 3; ++p)
         EXPECT_EQ(psim.queueOf(p).id(), p);
 
