@@ -27,7 +27,23 @@
  *                          the FAMSIM_THREADS environment variable
  *                          supplies the default
  *     --record <file>      record the workload to a trace file and exit
- *     --replay <file>      drive core 0 of node 0 from a trace file
+ *                          (.gz = gzip, .txt = text, else binary)
+ *     --replay <file>      drive every core from a trace file (each
+ *                          core replays its own cursor); restrict the
+ *                          target with --replay-node / --replay-core,
+ *                          the other cores keep the synthetic workload
+ *     --replay-node <n>    only node n replays (default: all nodes)
+ *     --replay-core <n>    only core n of each replaying node replays
+ *     --record-scenario <name>  run a registered scenario with every
+ *                          core recording its stream into the
+ *                          directory given by --record (one trace per
+ *                          core), print the scenario JSON
+ *     --replay-scenario <name>  run a registered scenario with every
+ *                          core replaying its trace from the directory
+ *                          given by --replay, print the scenario JSON
+ *                          (byte-identical to --scenario <name> when
+ *                          the directory was written by
+ *                          --record-scenario <name>)
  *     --stats              dump every statistic after the run
  *     --csv                dump statistics as CSV
  *     --json               dump statistics as JSON
@@ -48,7 +64,10 @@
 #include <cstring>
 #include <iostream>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "harness/figure_report.hh"
 #include "harness/runner.hh"
@@ -68,7 +87,9 @@ printUsage(std::ostream& os, const char* argv0)
           "  [--instr n] [--nodes n] [--cores n] [--stu-entries n]\n"
           "  [--stu-assoc n] [--acm-bits 8|16|32] [--pairs 1..3]\n"
           "  [--fabric-ns n] [--seed n] [--warmup f] [--threads n]\n"
-          "  [--record file] [--replay file] [--stats] [--csv] [--json]\n"
+          "  [--record file] [--replay file] [--replay-node n]\n"
+          "  [--replay-core n] [--record-scenario name]\n"
+          "  [--replay-scenario name] [--stats] [--csv] [--json]\n"
           "  [--list] [--scenario name] [--list-scenarios]\n"
           "  [--sweep name] [--list-sweeps] [--help]\n";
 }
@@ -150,6 +171,8 @@ main(int argc, char** argv)
     std::string bench = "mcf";
     std::string arch_name = "deactn";
     std::string record_path, replay_path;
+    std::string record_scenario, replay_scenario;
+    std::optional<unsigned> replay_node, replay_core;
     std::uint64_t instr = 300000;
     unsigned nodes = 1, cores = 4;
     std::size_t stu_entries = 1024, stu_assoc = 8;
@@ -207,6 +230,16 @@ main(int argc, char** argv)
                 uintArg("--threads", kUnsignedMax));
         else if (arg == "--record") record_path = need("--record");
         else if (arg == "--replay") replay_path = need("--replay");
+        else if (arg == "--replay-node")
+            replay_node = static_cast<unsigned>(
+                uintArg("--replay-node", kUnsignedMax));
+        else if (arg == "--replay-core")
+            replay_core = static_cast<unsigned>(
+                uintArg("--replay-core", kUnsignedMax));
+        else if (arg == "--record-scenario")
+            record_scenario = need("--record-scenario");
+        else if (arg == "--replay-scenario")
+            replay_scenario = need("--replay-scenario");
         else if (arg == "--stats") dump_stats = true;
         else if (arg == "--csv") dump_csv = true;
         else if (arg == "--json") dump_json = true;
@@ -253,30 +286,86 @@ main(int argc, char** argv)
         }
         return 0;
     }
-    if (!scenario_name.empty() && !sweep_name.empty()) {
-        std::cerr << "--scenario and --sweep are mutually exclusive\n";
+    const int registry_modes =
+        static_cast<int>(!scenario_name.empty()) +
+        static_cast<int>(!sweep_name.empty()) +
+        static_cast<int>(!record_scenario.empty()) +
+        static_cast<int>(!replay_scenario.empty());
+    if (registry_modes > 1) {
+        std::cerr << "--scenario, --sweep, --record-scenario and "
+                     "--replay-scenario are mutually exclusive\n";
         return 2;
     }
-    if (!scenario_name.empty() || !sweep_name.empty()) {
-        // Scenario and sweep runs use their registry-pinned
-        // configurations; accepting a config flag silently would let
-        // the user believe they changed what was measured. --stats and
-        // --csv only apply to ad-hoc runs, so they are ignored too.
-        static const char* kPinnedFlags[] = {
+    if (!record_scenario.empty() && record_path.empty()) {
+        std::cerr << "--record-scenario needs --record <dir> for the "
+                     "per-core trace files\n";
+        return 2;
+    }
+    if (!replay_scenario.empty() && replay_path.empty()) {
+        std::cerr << "--replay-scenario needs --replay <dir> holding the "
+                     "per-core trace files\n";
+        return 2;
+    }
+    if (record_scenario.empty() && replay_scenario.empty() &&
+        !record_path.empty() && !replay_path.empty()) {
+        std::cerr << "--record and --replay are mutually exclusive\n";
+        return 2;
+    }
+    if ((replay_node || replay_core) && replay_path.empty()) {
+        std::cerr << "--replay-node/--replay-core need --replay <file>\n";
+        return 2;
+    }
+    if (registry_modes == 1) {
+        // Scenario, sweep and scenario-capture/-replay runs use their
+        // registry-pinned configurations; accepting a config flag
+        // silently would let the user believe they changed what was
+        // measured. --stats and --csv only apply to ad-hoc runs, so
+        // they are ignored too. --record/--replay are the trace
+        // directory of --record-scenario/--replay-scenario and only
+        // then not ignored.
+        std::vector<const char*> pinned = {
             "--bench", "--arch", "--instr", "--nodes", "--cores",
             "--stu-entries", "--stu-assoc", "--acm-bits", "--pairs",
-            "--fabric-ns", "--seed", "--warmup", "--record", "--replay",
-            "--stats", "--csv",
+            "--fabric-ns", "--seed", "--warmup", "--replay-node",
+            "--replay-core", "--stats", "--csv",
         };
+        if (record_scenario.empty())
+            pinned.push_back("--record");
+        if (replay_scenario.empty())
+            pinned.push_back("--replay");
         for (int i = 1; i < argc; ++i) {
-            for (const char* flag : kPinnedFlags) {
+            for (const char* flag : pinned) {
                 if (std::strcmp(argv[i], flag) == 0) {
                     std::cerr << "warning: " << flag
-                              << " is ignored; --scenario/--sweep runs "
-                                 "use their pinned configuration\n";
+                              << " is ignored; --scenario/--sweep/"
+                                 "--record-scenario/--replay-scenario "
+                                 "runs use their pinned configuration\n";
                 }
             }
         }
+    }
+    if (!record_scenario.empty() || !replay_scenario.empty()) {
+        const std::string& name = record_scenario.empty()
+                                      ? replay_scenario
+                                      : record_scenario;
+        const ScenarioRegistry& reg = ScenarioRegistry::paper();
+        const ScenarioRegistry& points = SweepRegistry::paperPoints();
+        if (!reg.has(name) && !points.has(name)) {
+            std::cerr << "unknown scenario '" << name
+                      << "' (try --list-scenarios)\n";
+            return 2;
+        }
+        const Scenario& scenario =
+            reg.has(name) ? reg.byName(name) : points.byName(name);
+        if (!record_scenario.empty()) {
+            std::cout << recordScenarioTraces(scenario, record_path,
+                                              TraceFormat::Binary,
+                                              threads);
+        } else {
+            std::cout << replayScenarioJson(scenario, replay_path,
+                                            threads);
+        }
+        return 0;
     }
     if (!scenario_name.empty()) {
         // Sweep points ("fig16_num_nodes.n4") run exactly like the
@@ -325,11 +414,32 @@ main(int argc, char** argv)
     StreamProfile profile = profiles::byName(bench);
 
     if (!record_path.empty()) {
-        StreamGen gen(profile, 0x100000000000ULL, seed, 0);
+        // Ad-hoc recording samples one synthetic stream; it never
+        // builds a System, so System-shaping flags have no effect on
+        // the trace — warn like the pinned-scenario modes do.
+        static const char* kNoSystemFlags[] = {
+            "--arch", "--nodes", "--cores", "--stu-entries",
+            "--stu-assoc", "--acm-bits", "--pairs", "--fabric-ns",
+            "--warmup", "--threads", "--stats", "--csv", "--json",
+        };
+        for (int i = 1; i < argc; ++i) {
+            for (const char* flag : kNoSystemFlags) {
+                if (std::strcmp(argv[i], flag) == 0) {
+                    std::cerr << "warning: " << flag
+                              << " is ignored; --record samples the "
+                                 "workload stream without building a "
+                                 "system\n";
+                }
+            }
+        }
+        StreamGen gen(profile, kWorkloadVaBase, seed, 0);
         TraceWriter writer(record_path);
+        writer.setFootprint(gen.footprintPages());
         writer.record(gen, instr);
-        std::cout << "recorded " << writer.written() << " ops to "
-                  << record_path << "\n";
+        writer.close();
+        std::cout << "recorded " << writer.written() << " ops ("
+                  << toString(writer.format()) << ") to " << record_path
+                  << "\n";
         return 0;
     }
 
@@ -345,17 +455,49 @@ main(int argc, char** argv)
     config.fabric.latency = fabric_ns * kNanosecond;
     config.warmupFraction = warmup;
 
+    if (!replay_path.empty()) {
+        if (replay_node && *replay_node >= nodes) {
+            std::cerr << "--replay-node " << *replay_node
+                      << " out of range (have " << nodes << " nodes)\n";
+            return 2;
+        }
+        if (replay_core && *replay_core >= cores) {
+            std::cerr << "--replay-core " << *replay_core
+                      << " out of range (have " << cores
+                      << " cores per node)\n";
+            return 2;
+        }
+        {
+            // Open once up front so a bad trace is diagnosed before the
+            // (possibly long) system build, and to print the summary.
+            auto probe = TraceReader::open(replay_path);
+            std::cerr << "replaying " << probe->size() << " ops ("
+                      << toString(probe->format()) << ") covering "
+                      << probe->footprintPages().size()
+                      << " pages on "
+                      << (replay_node
+                              ? "node " + std::to_string(*replay_node)
+                              : std::string("every node"))
+                      << ", "
+                      << (replay_core
+                              ? "core " + std::to_string(*replay_core)
+                              : std::string("every core"))
+                      << "\n";
+        }
+        // Each selected core gets its own reader (own cursor); the
+        // rest fall back to the synthetic workload via nullptr.
+        config.workloadFactory =
+            [replay_path, replay_node, replay_core](
+                unsigned node,
+                unsigned core) -> std::unique_ptr<WorkloadGen> {
+            if (replay_node && *replay_node != node) return nullptr;
+            if (replay_core && *replay_core != core) return nullptr;
+            return TraceReader::open(replay_path);
+        };
+    }
+
     ScopedQuietLogs quiet;
     System system(config);
-
-    std::unique_ptr<TraceReader> trace;
-    if (!replay_path.empty()) {
-        // Replay drives a standalone check of the trace (the System
-        // owns its generators); print its footprint as a sanity check.
-        trace = std::make_unique<TraceReader>(replay_path);
-        std::cout << "replaying " << trace->size() << " ops covering "
-                  << trace->footprintPages().size() << " pages\n";
-    }
 
     system.run(threads);
 

@@ -197,10 +197,13 @@ System::buildNode(unsigned index)
         // multithreaded application (Table III suites): they share the
         // footprint and hot pages but follow independent access
         // sequences.
-        std::uint64_t va_base = 0x100000000000ULL;
-        parts.workload = std::make_unique<StreamGen>(
-            config_.profile, va_base, config_.seed,
-            index * 64 + c);
+        if (config_.workloadFactory)
+            parts.workload = config_.workloadFactory(index, c);
+        if (!parts.workload) {
+            parts.workload = std::make_unique<StreamGen>(
+                config_.profile, kWorkloadVaBase, config_.seed,
+                index * 64 + c);
+        }
         parts.tlb = std::make_unique<TwoLevelTlb>(sim_, cname + ".tlb",
                                                   config_.tlb);
         parts.ptwCache = std::make_unique<PtwCache>(

@@ -76,6 +76,20 @@ struct SystemConfig {
     /** Workload run (identically, rate-mode) on every core. */
     StreamProfile profile = profiles::byName("mcf");
 
+    /**
+     * Optional per-core workload source. When set, it is invoked for
+     * every (node, core) during construction; returning null falls
+     * back to the default synthetic StreamGen over @ref profile —
+     * which is how trace replay targets a single core while the rest
+     * keep their synthetic streams. The factory must be deterministic
+     * (it is part of the simulated configuration: scenario goldens and
+     * the parallel kernel's 1-vs-N byte identity both depend on it).
+     */
+    using WorkloadFactory =
+        std::function<std::unique_ptr<WorkloadGen>(unsigned node,
+                                                   unsigned core)>;
+    WorkloadFactory workloadFactory;
+
     /** Pre-map the whole footprint before timing (steady state). */
     bool prefault = true;
     /** Fraction of instructions treated as warmup (stats discarded). */
@@ -96,7 +110,7 @@ struct NodeParts {
     std::unique_ptr<CacheLevel> l3;
 
     struct CoreParts {
-        std::unique_ptr<StreamGen> workload;
+        std::unique_ptr<WorkloadGen> workload;
         std::unique_ptr<TwoLevelTlb> tlb;
         std::unique_ptr<PtwCache> ptwCache;
         std::unique_ptr<NodePtWalker> walker;

@@ -1,6 +1,10 @@
 #include "harness/scenario.hh"
 
+#include <atomic>
+#include <filesystem>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "harness/runner.hh"
 #include "sim/logging.hh"
@@ -42,6 +46,65 @@ makeScenario(const std::string& figure, const std::string& description,
     return s;
 }
 
+/**
+ * A unique temp-file path for a self-replay capture. The pid + serial
+ * keep concurrently running test binaries (ctest -j) and repeated
+ * System constructions within one process from colliding.
+ */
+std::string
+uniqueTempTracePath(unsigned node, unsigned core, TraceFormat format)
+{
+    static std::atomic<std::uint64_t> serial{0};
+    std::ostringstream os;
+    os << "famsim_selfreplay_" << ::getpid() << "_"
+       << serial.fetch_add(1, std::memory_order_relaxed) << "_"
+       << traceFileName(node, core, format);
+    return (std::filesystem::temp_directory_path() / os.str()).string();
+}
+
+/**
+ * A trace-replay scenario: every core records its synthetic stream to
+ * a temporary trace file (budget + slack ops, more than a core can
+ * consume, plus the generator's full prefault footprint), opens it
+ * through the real TraceReader::open dispatch, unlinks it (the reader
+ * keeps the file handle) and replays it. The golden pins the whole
+ * frontend — writer, open dispatch, streaming reader, footprint
+ * round-trip — and doubles as the replay == synthesis lock: the
+ * replayed prefix is exactly what the synthetic generator produces,
+ * so the stats must match a plain StreamGen run of the same config.
+ */
+Scenario
+makeTraceScenario(const std::string& tag, const StreamProfile& profile,
+                  TraceFormat format, const std::string& description)
+{
+    Scenario s;
+    s.figure = "trace_replay";
+    s.description = description;
+    s.headlineMetric = "ipc";
+    s.config = makeConfig(profile, ArchKind::DeactN,
+                          kScenarioInstructions);
+    s.config.seed = 1;
+    const std::uint64_t budget = kScenarioInstructions + 16;
+    StreamProfile p = profile;
+    s.config.workloadFactory =
+        [p, format, budget](unsigned node,
+                            unsigned core) -> std::unique_ptr<WorkloadGen> {
+        StreamGen gen(p, kWorkloadVaBase, 1, node * 64 + core);
+        const std::string path = uniqueTempTracePath(node, core, format);
+        {
+            TraceWriter writer(path, format);
+            writer.setFootprint(gen.footprintPages());
+            writer.record(gen, budget);
+        }
+        auto reader = TraceReader::open(path);
+        std::error_code ec;
+        std::filesystem::remove(path, ec); // reader holds the handle
+        return reader;
+    };
+    s.name = "trace_replay." + tag;
+    return s;
+}
+
 ScenarioRegistry
 buildPaperRegistry()
 {
@@ -79,6 +142,23 @@ buildPaperRegistry()
             "End-to-end performance, system IPC (paper Fig. 12)",
             "ipc", "mcf", arch));
     }
+
+    // Trace-replay frontend locks (no paper counterpart — the
+    // ROADMAP's trace-driven workload axis): one uniform and one
+    // hot-skewed self-replay, the latter through the gzip backend
+    // when this build has zlib (the exported JSON is format-blind, so
+    // the golden is identical either way).
+    reg.add(makeTraceScenario(
+        "uniform.selfreplay", profiles::uniformTest(32ull << 20),
+        TraceFormat::Binary,
+        "Uniform stream recorded to a binary trace and self-replayed "
+        "(trace frontend regression lock)"));
+    reg.add(makeTraceScenario(
+        "mcf.selfreplay",
+        profiles::byName("mcf"),
+        traceGzipSupported() ? TraceFormat::Gzip : TraceFormat::Binary,
+        "Hot-skewed mcf stream recorded to a gzip trace and "
+        "self-replayed (trace frontend regression lock)"));
 
     return reg;
 }
@@ -187,6 +267,96 @@ runScenarioJson(const Scenario& scenario, unsigned threads)
     system.sim().stats().dumpJson(os, 2);
     os << "\n}\n";
     return os.str();
+}
+
+// ------------------------------------------------ trace capture/replay
+
+std::string
+traceFileName(unsigned node, unsigned core, TraceFormat format)
+{
+    std::string name = "node" + std::to_string(node) + ".core" +
+                       std::to_string(core) + ".trace";
+    switch (format) {
+      case TraceFormat::Binary: break;
+      case TraceFormat::Gzip: name += ".gz"; break;
+      case TraceFormat::Text: name += ".txt"; break;
+    }
+    return name;
+}
+
+SystemConfig
+withTraceRecording(const SystemConfig& config, const std::string& dir,
+                   TraceFormat format)
+{
+    SystemConfig out = config;
+    // Wrap whatever the configuration would have driven the core with
+    // (its own factory's product, or the default synthetic stream —
+    // mirroring System::buildNode's fallback).
+    out.workloadFactory =
+        [inner_factory = config.workloadFactory,
+         profile = config.profile, seed = config.seed, dir,
+         format](unsigned node,
+                 unsigned core) -> std::unique_ptr<WorkloadGen> {
+        std::unique_ptr<WorkloadGen> inner;
+        if (inner_factory)
+            inner = inner_factory(node, core);
+        if (!inner) {
+            inner = std::make_unique<StreamGen>(profile, kWorkloadVaBase,
+                                                seed, node * 64 + core);
+        }
+        return std::make_unique<RecordingWorkload>(
+            std::move(inner), dir + "/" + traceFileName(node, core, format),
+            format);
+    };
+    return out;
+}
+
+SystemConfig
+withTraceReplay(const SystemConfig& config, const std::string& dir)
+{
+    SystemConfig out = config;
+    out.workloadFactory =
+        [dir](unsigned node,
+              unsigned core) -> std::unique_ptr<WorkloadGen> {
+        for (TraceFormat format :
+             {TraceFormat::Binary, TraceFormat::Gzip, TraceFormat::Text}) {
+            const std::string path =
+                dir + "/" + traceFileName(node, core, format);
+            if (std::filesystem::exists(path))
+                return TraceReader::open(path);
+        }
+        FAMSIM_FATAL("no trace for node ", node, " core ", core,
+                     " under '", dir, "' (expected ",
+                     traceFileName(node, core), "[.gz|.txt])");
+    };
+    return out;
+}
+
+std::string
+recordScenarioTraces(const Scenario& scenario, const std::string& dir,
+                     TraceFormat format, unsigned threads)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        FAMSIM_FATAL("cannot create trace directory '", dir,
+                     "': ", ec.message());
+    }
+    Scenario copy = scenario;
+    copy.config = withTraceRecording(scenario.config, dir, format);
+    // The System (and with it every TraceWriter) is destroyed inside
+    // runScenarioJson, so the traces are closed and complete on
+    // return.
+    return runScenarioJson(copy, threads);
+}
+
+std::string
+replayScenarioJson(const Scenario& scenario, const std::string& dir,
+                   unsigned threads)
+{
+    Scenario copy = scenario;
+    copy.config = withTraceReplay(scenario.config, dir);
+    return runScenarioJson(copy, threads);
 }
 
 } // namespace famsim

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/system.hh"
+#include "workload/trace.hh"
 
 namespace famsim {
 
@@ -81,6 +82,55 @@ class ScenarioRegistry
  */
 [[nodiscard]] std::string runScenarioJson(const Scenario& scenario,
                                           unsigned threads = 0);
+
+// ------------------------------------------------ trace capture/replay
+
+/**
+ * File name of one core's trace inside a capture directory:
+ * "node<i>.core<j>.trace[.gz|.txt]".
+ */
+[[nodiscard]] std::string
+traceFileName(unsigned node, unsigned core,
+              TraceFormat format = TraceFormat::Binary);
+
+/**
+ * Copy of @p config whose cores record the streams they consume into
+ * per-core trace files under @p dir (see traceFileName) while running
+ * — recording wraps the configured workload (factory or synthetic),
+ * so the recording run's stats are identical to the unwrapped run's.
+ */
+[[nodiscard]] SystemConfig
+withTraceRecording(const SystemConfig& config, const std::string& dir,
+                   TraceFormat format = TraceFormat::Binary);
+
+/**
+ * Copy of @p config whose cores replay the per-core traces under
+ * @p dir (any supported format). Replaying a directory recorded with
+ * withTraceRecording reproduces the original run bit-identically: the
+ * op streams are the consumed prefixes and the traces carry the full
+ * prefault footprint.
+ */
+[[nodiscard]] SystemConfig
+withTraceReplay(const SystemConfig& config, const std::string& dir);
+
+/**
+ * Run @p scenario with per-core trace recording into @p dir (created
+ * if missing) and return its stats JSON — byte-identical to
+ * runScenarioJson(scenario, threads), recording is observation-only.
+ */
+[[nodiscard]] std::string
+recordScenarioTraces(const Scenario& scenario, const std::string& dir,
+                     TraceFormat format = TraceFormat::Binary,
+                     unsigned threads = 0);
+
+/**
+ * Run @p scenario with its cores replaying the traces under @p dir
+ * and return the stats JSON (the round-trip counterpart of
+ * recordScenarioTraces).
+ */
+[[nodiscard]] std::string
+replayScenarioJson(const Scenario& scenario, const std::string& dir,
+                   unsigned threads = 0);
 
 } // namespace famsim
 

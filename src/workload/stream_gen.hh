@@ -31,6 +31,13 @@
 
 namespace famsim {
 
+/**
+ * Base virtual address of the simulated heap every System core runs
+ * its workload at (shared so trace capture/replay builds generators at
+ * exactly the addresses the System uses).
+ */
+inline constexpr std::uint64_t kWorkloadVaBase = 0x100000000000ULL;
+
 /** One memory operation produced by a generator. */
 struct MemOpDesc {
     /** Virtual address accessed. */

@@ -1,60 +1,412 @@
 #include "workload/trace.hh"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <set>
+#include <sstream>
 
 #include "sim/logging.hh"
+
+#if FAMSIM_HAVE_ZLIB
+#include <zlib.h>
+#endif
 
 namespace famsim {
 namespace {
 
-constexpr char kMagic[12] = {'F', 'A', 'M', 'S', 'I', 'M',
-                             'T', 'R', 'A', 'C', 'E', '1'};
+// Binary layout (DESIGN.md "Trace format"): 11-byte magic prefix plus
+// one version character, so future layouts stay distinguishable.
+constexpr char kMagicPrefix[11] = {'F', 'A', 'M', 'S', 'I', 'M',
+                                   'T', 'R', 'A', 'C', 'E'};
+constexpr std::size_t kMagicSize = sizeof(kMagicPrefix) + 1;
+constexpr std::size_t kV1HeaderSize = kMagicSize + 8;
+constexpr std::size_t kV2HeaderSize = kMagicSize + 16;
+constexpr std::size_t kRecordSize = 13; // u64 vaddr + u32 gap + u8 flags
+
 constexpr std::uint8_t kFlagWrite = 1;
 constexpr std::uint8_t kFlagBlocking = 2;
+constexpr std::uint8_t kKnownFlags = kFlagWrite | kFlagBlocking;
 
-struct Record {
-    std::uint64_t vaddr;
-    std::uint32_t gap;
-    std::uint8_t flags;
+void
+encodeRecord(const MemOpDesc& op, unsigned char* out)
+{
+    std::uint64_t vaddr = op.vaddr;
+    std::uint32_t gap = op.gap;
+    std::uint8_t flags =
+        static_cast<std::uint8_t>((op.write ? kFlagWrite : 0) |
+                                  (op.blocking ? kFlagBlocking : 0));
+    std::memcpy(out, &vaddr, 8);
+    std::memcpy(out + 8, &gap, 4);
+    out[12] = flags;
+}
+
+MemOpDesc
+decodeRecord(const unsigned char* in, const std::string& path,
+             std::uint64_t index)
+{
+    MemOpDesc op;
+    std::uint64_t vaddr = 0;
+    std::uint32_t gap = 0;
+    std::memcpy(&vaddr, in, 8);
+    std::memcpy(&gap, in + 8, 4);
+    std::uint8_t flags = in[12];
+    if ((flags & ~kKnownFlags) != 0) {
+        FAMSIM_FATAL("trace '", path, "' record ", index,
+                     " has unknown flag bits ", unsigned(flags),
+                     " (corrupt file?)");
+    }
+    op.vaddr = vaddr;
+    op.gap = gap;
+    op.write = (flags & kFlagWrite) != 0;
+    op.blocking = (flags & kFlagBlocking) != 0;
+    return op;
+}
+
+void
+writeU64(std::ofstream& out, std::uint64_t value)
+{
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+/** Format one op as a text-trace line. */
+std::string
+textLine(const MemOpDesc& op)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << op.vaddr << std::dec << " " << op.gap
+       << " " << (op.write ? 'W' : 'R');
+    if (op.blocking)
+        os << " B";
+    os << "\n";
+    return os.str();
+}
+
+/** Parse an unsigned integer token (hex with 0x prefix or decimal). */
+bool
+parseU64Token(const std::string& token, std::uint64_t& out)
+{
+    if (token.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(token.c_str(), &end, 0);
+    if (errno == ERANGE || end != token.c_str() + token.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+TraceFormat
+traceFormatForPath(const std::string& path)
+{
+    auto ends_with = [&](const char* suffix) {
+        std::size_t n = std::strlen(suffix);
+        return path.size() >= n &&
+               path.compare(path.size() - n, n, suffix) == 0;
+    };
+    if (ends_with(".gz"))
+        return TraceFormat::Gzip;
+    if (ends_with(".txt"))
+        return TraceFormat::Text;
+    return TraceFormat::Binary;
+}
+
+bool
+traceGzipSupported()
+{
+#if FAMSIM_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+// ===================================================== TraceWriter ==
+
+/**
+ * Backend interface: every write is checked so a failed or partial
+ * write (disk full, I/O error) fatals instead of leaving a silently
+ * truncated file behind a "recorded N ops" success message.
+ */
+struct TraceWriter::Impl {
+    virtual ~Impl() = default;
+    virtual void footprint(const std::vector<std::uint64_t>& pages) = 0;
+    virtual void append(const MemOpDesc& op) = 0;
+    virtual void close(std::uint64_t count) = 0;
 };
+
+namespace {
+
+class BinaryWriterImpl final : public TraceWriter::Impl
+{
+  public:
+    explicit BinaryWriterImpl(const std::string& path)
+        : path_(path), out_(path, std::ios::binary | std::ios::trunc)
+    {
+        if (!out_) {
+            FAMSIM_FATAL("cannot open trace file '", path,
+                         "' for writing");
+        }
+        writeHeader(0, 0);
+        check("header write");
+    }
+
+    void
+    footprint(const std::vector<std::uint64_t>& pages) override
+    {
+        footprintCount_ = pages.size();
+        for (std::uint64_t page : pages)
+            writeU64(out_, page);
+        check("footprint write");
+    }
+
+    void
+    append(const MemOpDesc& op) override
+    {
+        unsigned char rec[kRecordSize];
+        encodeRecord(op, rec);
+        out_.write(reinterpret_cast<const char*>(rec), sizeof(rec));
+        check("record write");
+    }
+
+    void
+    close(std::uint64_t count) override
+    {
+        out_.seekp(0);
+        writeHeader(count, footprintCount_);
+        out_.flush();
+        check("close");
+        out_.close();
+        check("close");
+    }
+
+  private:
+    void
+    writeHeader(std::uint64_t count, std::uint64_t footprint_count)
+    {
+        out_.write(kMagicPrefix, sizeof(kMagicPrefix));
+        out_.put('2');
+        writeU64(out_, count);
+        writeU64(out_, footprint_count);
+    }
+
+    void
+    check(const char* what)
+    {
+        if (!out_) {
+            FAMSIM_FATAL("trace ", what, " to '", path_,
+                         "' failed (disk full?)");
+        }
+    }
+
+    std::string path_;
+    std::ofstream out_;
+    std::uint64_t footprintCount_ = 0;
+};
+
+class TextWriterImpl final : public TraceWriter::Impl
+{
+  public:
+    explicit TextWriterImpl(const std::string& path)
+        : path_(path), out_(path, std::ios::trunc)
+    {
+        if (!out_) {
+            FAMSIM_FATAL("cannot open trace file '", path,
+                         "' for writing");
+        }
+        out_ << "# famsim-trace text v1\n";
+        check("header write");
+    }
+
+    void
+    footprint(const std::vector<std::uint64_t>& pages) override
+    {
+        for (std::uint64_t page : pages)
+            out_ << "F 0x" << std::hex << page << std::dec << "\n";
+        check("footprint write");
+    }
+
+    void
+    append(const MemOpDesc& op) override
+    {
+        out_ << textLine(op);
+        check("record write");
+    }
+
+    void
+    close(std::uint64_t) override
+    {
+        out_.flush();
+        check("close");
+        out_.close();
+        check("close");
+    }
+
+  private:
+    void
+    check(const char* what)
+    {
+        if (!out_) {
+            FAMSIM_FATAL("trace ", what, " to '", path_,
+                         "' failed (disk full?)");
+        }
+    }
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+#if FAMSIM_HAVE_ZLIB
+
+/**
+ * Gzip cannot seek back to patch the record count into the header, so
+ * this backend buffers the records and emits the whole stream at
+ * close() — the writer-side memory cost of a compressed capture.
+ */
+class GzipWriterImpl final : public TraceWriter::Impl
+{
+  public:
+    explicit GzipWriterImpl(const std::string& path) : path_(path)
+    {
+        gz_ = gzopen(path.c_str(), "wb");
+        if (gz_ == nullptr) {
+            FAMSIM_FATAL("cannot open trace file '", path,
+                         "' for writing");
+        }
+    }
+
+    ~GzipWriterImpl() override
+    {
+        if (gz_ != nullptr)
+            gzclose(gz_);
+    }
+
+    void
+    footprint(const std::vector<std::uint64_t>& pages) override
+    {
+        footprint_ = pages;
+    }
+
+    void
+    append(const MemOpDesc& op) override
+    {
+        records_.resize(records_.size() + kRecordSize);
+        encodeRecord(op, records_.data() + records_.size() - kRecordSize);
+    }
+
+    void
+    close(std::uint64_t count) override
+    {
+        unsigned char header[kV2HeaderSize];
+        std::memcpy(header, kMagicPrefix, sizeof(kMagicPrefix));
+        header[sizeof(kMagicPrefix)] = '2';
+        std::uint64_t fp_count = footprint_.size();
+        std::memcpy(header + kMagicSize, &count, 8);
+        std::memcpy(header + kMagicSize + 8, &fp_count, 8);
+        write(header, sizeof(header));
+        if (!footprint_.empty()) {
+            write(footprint_.data(),
+                  footprint_.size() * sizeof(std::uint64_t));
+        }
+        if (!records_.empty())
+            write(records_.data(), records_.size());
+        int rc = gzclose(gz_);
+        gz_ = nullptr;
+        if (rc != Z_OK) {
+            FAMSIM_FATAL("trace close of '", path_, "' failed (gzip rc ",
+                         rc, ", disk full?)");
+        }
+    }
+
+  private:
+    void
+    write(const void* data, std::size_t bytes)
+    {
+        // gzwrite takes an unsigned chunk length; split giant buffers.
+        const auto* p = static_cast<const unsigned char*>(data);
+        while (bytes > 0) {
+            unsigned chunk = static_cast<unsigned>(
+                std::min<std::size_t>(bytes, 1u << 30));
+            if (gzwrite(gz_, p, chunk) != static_cast<int>(chunk)) {
+                FAMSIM_FATAL("trace write to '", path_,
+                             "' failed (disk full?)");
+            }
+            p += chunk;
+            bytes -= chunk;
+        }
+    }
+
+    std::string path_;
+    gzFile gz_ = nullptr;
+    std::vector<std::uint64_t> footprint_;
+    std::vector<unsigned char> records_;
+};
+
+#endif // FAMSIM_HAVE_ZLIB
+
+std::unique_ptr<TraceWriter::Impl>
+makeWriterImpl(const std::string& path, TraceFormat format)
+{
+    switch (format) {
+      case TraceFormat::Binary:
+        return std::make_unique<BinaryWriterImpl>(path);
+      case TraceFormat::Text:
+        return std::make_unique<TextWriterImpl>(path);
+      case TraceFormat::Gzip:
+#if FAMSIM_HAVE_ZLIB
+        return std::make_unique<GzipWriterImpl>(path);
+#else
+        FAMSIM_FATAL("cannot write gzip trace '", path,
+                     "': famsim was built without zlib");
+#endif
+    }
+    FAMSIM_PANIC("unreachable trace format");
+}
 
 } // namespace
 
 TraceWriter::TraceWriter(const std::string& path)
-    : out_(path, std::ios::binary), path_(path)
+    : TraceWriter(path, traceFormatForPath(path))
 {
-    if (!out_)
-        FAMSIM_FATAL("cannot open trace file '", path, "' for writing");
-    writeHeader();
+}
+
+TraceWriter::TraceWriter(const std::string& path, TraceFormat format)
+    : impl_(makeWriterImpl(path, format)), format_(format)
+{
 }
 
 TraceWriter::~TraceWriter()
 {
-    close();
+    // close() fatals on I/O errors; when an earlier write already
+    // fataled (throwing under ScopedThrowOnError) a second fatal
+    // during unwinding would terminate, so skip the implicit close.
+    if (std::uncaught_exceptions() == 0)
+        close();
 }
 
 void
-TraceWriter::writeHeader()
+TraceWriter::setFootprint(const std::vector<std::uint64_t>& pages)
 {
-    out_.seekp(0);
-    out_.write(kMagic, sizeof(kMagic));
-    out_.write(reinterpret_cast<const char*>(&count_), sizeof(count_));
+    FAMSIM_ASSERT(!closed_, "footprint on a closed trace");
+    FAMSIM_ASSERT(!appended_,
+                  "trace footprint must be set before the first record");
+    impl_->footprint(pages);
 }
 
 void
 TraceWriter::append(const MemOpDesc& op)
 {
     FAMSIM_ASSERT(!closed_, "append to a closed trace");
-    Record rec{op.vaddr, op.gap,
-               static_cast<std::uint8_t>(
-                   (op.write ? kFlagWrite : 0) |
-                   (op.blocking ? kFlagBlocking : 0))};
-    out_.write(reinterpret_cast<const char*>(&rec.vaddr),
-               sizeof(rec.vaddr));
-    out_.write(reinterpret_cast<const char*>(&rec.gap), sizeof(rec.gap));
-    out_.write(reinterpret_cast<const char*>(&rec.flags),
-               sizeof(rec.flags));
+    appended_ = true;
+    impl_->append(op);
     ++count_;
 }
 
@@ -75,56 +427,465 @@ TraceWriter::close()
 {
     if (closed_)
         return;
-    writeHeader(); // patch the final record count
-    out_.flush();
     closed_ = true;
+    impl_->close(count_);
 }
 
-TraceReader::TraceReader(const std::string& path)
+// ===================================================== TraceReader ==
+
+TraceReader::TraceReader(std::string path, TraceFormat format)
+    : path_(std::move(path)), format_(format)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        FAMSIM_FATAL("cannot open trace file '", path, "'");
-    char magic[sizeof(kMagic)];
-    std::uint64_t count = 0;
-    in.read(magic, sizeof(magic));
-    in.read(reinterpret_cast<char*>(&count), sizeof(count));
-    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        FAMSIM_FATAL("'", path, "' is not a famsim trace");
-    ops_.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        Record rec{};
-        in.read(reinterpret_cast<char*>(&rec.vaddr), sizeof(rec.vaddr));
-        in.read(reinterpret_cast<char*>(&rec.gap), sizeof(rec.gap));
-        in.read(reinterpret_cast<char*>(&rec.flags), sizeof(rec.flags));
-        if (!in)
-            FAMSIM_FATAL("trace '", path, "' truncated at record ", i);
-        MemOpDesc op;
-        op.vaddr = rec.vaddr;
-        op.gap = rec.gap;
-        op.write = (rec.flags & kFlagWrite) != 0;
-        op.blocking = (rec.flags & kFlagBlocking) != 0;
-        ops_.push_back(op);
-    }
-    if (ops_.empty())
-        FAMSIM_FATAL("trace '", path, "' contains no records");
+    buf_.resize(kChunkRecords);
 }
 
 MemOpDesc
 TraceReader::next()
 {
-    MemOpDesc op = ops_[index_];
-    index_ = (index_ + 1) % ops_.size();
-    return op;
+    if (pos_ == len_) {
+        len_ = refill(buf_);
+        if (len_ == 0) {
+            rewindPayload();
+            len_ = refill(buf_);
+            FAMSIM_ASSERT(len_ > 0,
+                          "trace '", path_, "' rewind produced no records");
+        }
+        pos_ = 0;
+    }
+    return buf_[pos_++];
 }
 
+namespace {
+
+/** Sorted-unique footprint for formats that don't carry one. */
 std::vector<std::uint64_t>
-TraceReader::footprintPages() const
+derivedFootprint(const std::set<std::uint64_t>& pages)
 {
-    std::set<std::uint64_t> pages;
-    for (const auto& op : ops_)
-        pages.insert(op.vaddr / kPageSize);
     return {pages.begin(), pages.end()};
+}
+
+class BinaryReaderImpl final : public TraceReader
+{
+  public:
+    explicit BinaryReaderImpl(const std::string& path)
+        : TraceReader(path, TraceFormat::Binary),
+          in_(path, std::ios::binary)
+    {
+        if (!in_)
+            FAMSIM_FATAL("cannot open trace file '", path, "'");
+        char magic[kMagicSize];
+        in_.read(magic, sizeof(magic));
+        if (!in_ ||
+            std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0)
+            FAMSIM_FATAL("'", path, "' is not a famsim trace");
+        const char version = magic[kMagicSize - 1];
+        std::uint64_t footprint_count = 0;
+        if (version == '2') {
+            in_.read(reinterpret_cast<char*>(&count_), 8);
+            in_.read(reinterpret_cast<char*>(&footprint_count), 8);
+        } else if (version == '1') {
+            in_.read(reinterpret_cast<char*>(&count_), 8);
+        } else {
+            FAMSIM_FATAL("trace '", path, "' has unsupported version '",
+                         std::string(1, version), "' (this famsim reads "
+                         "versions 1 and 2)");
+        }
+        if (!in_)
+            FAMSIM_FATAL("trace '", path, "' truncated in the header");
+
+        // The header count is a claim, not a fact: a writer that died
+        // before close() leaves the placeholder (0) with records on
+        // disk, and a corrupted or concatenated file carries trailing
+        // bytes. Validate the payload size exactly.
+        std::error_code ec;
+        const std::uint64_t file_size =
+            std::filesystem::file_size(path, ec);
+        if (ec)
+            FAMSIM_FATAL("cannot stat trace '", path, "': ", ec.message());
+        const std::uint64_t header_size =
+            version == '2' ? kV2HeaderSize : kV1HeaderSize;
+        const std::uint64_t expected =
+            header_size + footprint_count * 8 + count_ * kRecordSize;
+        if (file_size < expected) {
+            FAMSIM_FATAL("trace '", path, "' truncated: header claims ",
+                         count_, " records (", expected, " bytes) but the "
+                         "file holds ", file_size, " bytes");
+        }
+        if (file_size > expected) {
+            FAMSIM_FATAL("trace '", path, "' has ", file_size - expected,
+                         " trailing bytes beyond the ", count_,
+                         " records its header claims (stale header from "
+                         "a crashed writer, or a corrupt file)");
+        }
+        if (count_ == 0)
+            FAMSIM_FATAL("trace '", path, "' contains no records");
+
+        payloadStart_ = header_size + footprint_count * 8;
+        if (footprint_count > 0) {
+            footprint_.resize(footprint_count);
+            in_.read(reinterpret_cast<char*>(footprint_.data()),
+                     static_cast<std::streamsize>(footprint_count * 8));
+            if (!in_)
+                FAMSIM_FATAL("trace '", path,
+                             "' truncated in the footprint");
+        } else {
+            // v1 (and a v2 written without setFootprint) carries no
+            // footprint section: derive it with one streaming pass
+            // (chunk buffer, nothing kept resident).
+            std::set<std::uint64_t> pages;
+            std::vector<MemOpDesc> chunk(kChunkRecords);
+            remaining_ = count_;
+            for (std::size_t n = 0; (n = refill(chunk)) > 0;) {
+                for (std::size_t i = 0; i < n; ++i)
+                    pages.insert(chunk[i].vaddr / kPageSize);
+            }
+            footprint_ = derivedFootprint(pages);
+            in_.clear();
+            in_.seekg(static_cast<std::streamoff>(payloadStart_));
+        }
+        remaining_ = count_;
+    }
+
+  protected:
+    std::size_t
+    refill(std::vector<MemOpDesc>& buf) override
+    {
+        const std::size_t want =
+            static_cast<std::size_t>(std::min<std::uint64_t>(
+                remaining_, buf.size()));
+        if (want == 0)
+            return 0;
+        raw_.resize(want * kRecordSize);
+        in_.read(reinterpret_cast<char*>(raw_.data()),
+                 static_cast<std::streamsize>(raw_.size()));
+        if (static_cast<std::size_t>(in_.gcount()) != raw_.size()) {
+            FAMSIM_FATAL("trace '", path_, "' truncated at record ",
+                         count_ - remaining_);
+        }
+        const std::uint64_t base = count_ - remaining_;
+        for (std::size_t i = 0; i < want; ++i) {
+            buf[i] = decodeRecord(raw_.data() + i * kRecordSize, path_,
+                                  base + i);
+        }
+        remaining_ -= want;
+        return want;
+    }
+
+    void
+    rewindPayload() override
+    {
+        in_.clear();
+        in_.seekg(static_cast<std::streamoff>(payloadStart_));
+        if (!in_)
+            FAMSIM_FATAL("trace '", path_, "' rewind failed");
+        remaining_ = count_;
+    }
+
+  private:
+    std::ifstream in_;
+    std::uint64_t payloadStart_ = 0;
+    std::uint64_t remaining_ = 0;
+    std::vector<unsigned char> raw_;
+};
+
+class TextReaderImpl final : public TraceReader
+{
+  public:
+    explicit TextReaderImpl(const std::string& path)
+        : TraceReader(path, TraceFormat::Text), in_(path)
+    {
+        if (!in_)
+            FAMSIM_FATAL("cannot open trace file '", path, "'");
+
+        // Validation pass: parse every line once, counting records and
+        // collecting the footprint (explicit F lines in file order, or
+        // derived from the ops when absent), then rewind for replay.
+        std::set<std::uint64_t> derived;
+        MemOpDesc op;
+        bool is_footprint = false;
+        std::uint64_t page = 0;
+        std::string line;
+        while (std::getline(in_, line)) {
+            ++lineNo_;
+            if (!parseLine(line, op, is_footprint, page))
+                continue; // comment / blank
+            if (is_footprint)
+                footprint_.push_back(page);
+            else {
+                ++count_;
+                derived.insert(op.vaddr / kPageSize);
+            }
+        }
+        if (count_ == 0)
+            FAMSIM_FATAL("trace '", path, "' contains no records");
+        if (footprint_.empty())
+            footprint_ = derivedFootprint(derived);
+        rewindPayload();
+    }
+
+  protected:
+    std::size_t
+    refill(std::vector<MemOpDesc>& buf) override
+    {
+        std::size_t n = 0;
+        std::string line;
+        MemOpDesc op;
+        bool is_footprint = false;
+        std::uint64_t page = 0;
+        while (n < buf.size() && std::getline(in_, line)) {
+            ++lineNo_;
+            if (!parseLine(line, op, is_footprint, page) || is_footprint)
+                continue;
+            buf[n++] = op;
+        }
+        return n;
+    }
+
+    void
+    rewindPayload() override
+    {
+        in_.clear();
+        in_.seekg(0);
+        if (!in_)
+            FAMSIM_FATAL("trace '", path_, "' rewind failed");
+        lineNo_ = 0;
+    }
+
+  private:
+    /**
+     * Grammar (DESIGN.md "Trace format"): blank lines and lines
+     * starting with '#' are ignored; `F <page>` declares a footprint
+     * page; `<vaddr> <gap> R|W [B]` is one record. Numbers are
+     * decimal or 0x-prefixed hex.
+     */
+    bool
+    parseLine(const std::string& line, MemOpDesc& op,
+              bool& is_footprint, std::uint64_t& page)
+    {
+        std::istringstream is(line);
+        std::string tok[4];
+        int n = 0;
+        while (n < 4 && (is >> tok[n]))
+            ++n;
+        std::string extra;
+        if (n == 4 && (is >> extra))
+            bad("trailing tokens");
+        if (n == 0 || tok[0][0] == '#')
+            return false;
+        if (tok[0] == "F") {
+            if (n != 2 || !parseU64Token(tok[1], page))
+                bad("footprint line must be 'F <page>'");
+            is_footprint = true;
+            return true;
+        }
+        is_footprint = false;
+        std::uint64_t gap = 0;
+        if (n < 3 || !parseU64Token(tok[0], op.vaddr) ||
+            !parseU64Token(tok[1], gap) ||
+            gap > std::numeric_limits<std::uint32_t>::max())
+            bad("record line must be '<vaddr> <gap> R|W [B]'");
+        op.gap = static_cast<unsigned>(gap);
+        if (tok[2] == "R")
+            op.write = false;
+        else if (tok[2] == "W")
+            op.write = true;
+        else
+            bad("op must be R or W");
+        op.blocking = false;
+        if (n == 4) {
+            if (tok[3] != "B")
+                bad("trailing token must be B");
+            op.blocking = true;
+        }
+        return true;
+    }
+
+    [[noreturn]] void
+    bad(const char* why)
+    {
+        FAMSIM_FATAL("trace '", path_, "' line ", lineNo_, ": ", why);
+    }
+
+    std::ifstream in_;
+    std::uint64_t lineNo_ = 0;
+};
+
+#if FAMSIM_HAVE_ZLIB
+
+class GzipReaderImpl final : public TraceReader
+{
+  public:
+    explicit GzipReaderImpl(const std::string& path)
+        : TraceReader(path, TraceFormat::Gzip)
+    {
+        gz_ = gzopen(path.c_str(), "rb");
+        if (gz_ == nullptr)
+            FAMSIM_FATAL("cannot open trace file '", path, "'");
+
+        char magic[kMagicSize];
+        readExact(magic, sizeof(magic), "header");
+        if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0)
+            FAMSIM_FATAL("'", path, "' is not a famsim trace");
+        const char version = magic[kMagicSize - 1];
+        std::uint64_t footprint_count = 0;
+        if (version == '2') {
+            readExact(&count_, 8, "header");
+            readExact(&footprint_count, 8, "header");
+            payloadStart_ = kV2HeaderSize + footprint_count * 8;
+        } else if (version == '1') {
+            readExact(&count_, 8, "header");
+            payloadStart_ = kV1HeaderSize;
+        } else {
+            FAMSIM_FATAL("trace '", path, "' has unsupported version '",
+                         std::string(1, version), "' (this famsim reads "
+                         "versions 1 and 2)");
+        }
+        if (footprint_count > 0) {
+            footprint_.resize(footprint_count);
+            readExact(footprint_.data(), footprint_count * 8,
+                      "footprint");
+        }
+
+        // A compressed stream cannot be size-checked without
+        // decompressing it, so validate the header count with one full
+        // streaming pass now: count records to EOF (deriving the v1
+        // footprint on the way) and fail on a mismatch or trailing
+        // bytes — exactly what the binary reader's stat check catches.
+        std::set<std::uint64_t> pages;
+        std::vector<MemOpDesc> chunk(kChunkRecords);
+        remaining_ = count_;
+        std::uint64_t seen = 0;
+        const bool derive = footprint_.empty();
+        for (std::size_t n = 0; (n = refill(chunk)) > 0;) {
+            seen += n;
+            if (derive) {
+                for (std::size_t i = 0; i < n; ++i)
+                    pages.insert(chunk[i].vaddr / kPageSize);
+            }
+        }
+        unsigned char probe = 0;
+        if (gzread(gz_, &probe, 1) > 0) {
+            FAMSIM_FATAL("trace '", path, "' has trailing bytes beyond "
+                         "the ", count_, " records its header claims "
+                         "(stale header from a crashed writer, or a "
+                         "corrupt file)");
+        }
+        if (count_ == 0)
+            FAMSIM_FATAL("trace '", path, "' contains no records");
+        FAMSIM_ASSERT(seen == count_, "gzip validation miscount");
+        if (derive)
+            footprint_ = derivedFootprint(pages);
+        rewindPayload();
+    }
+
+    ~GzipReaderImpl() override
+    {
+        if (gz_ != nullptr)
+            gzclose(gz_);
+    }
+
+  protected:
+    std::size_t
+    refill(std::vector<MemOpDesc>& buf) override
+    {
+        const std::size_t want =
+            static_cast<std::size_t>(std::min<std::uint64_t>(
+                remaining_, buf.size()));
+        if (want == 0)
+            return 0;
+        raw_.resize(want * kRecordSize);
+        readExact(raw_.data(), raw_.size(), "payload");
+        const std::uint64_t base = count_ - remaining_;
+        for (std::size_t i = 0; i < want; ++i) {
+            buf[i] = decodeRecord(raw_.data() + i * kRecordSize, path_,
+                                  base + i);
+        }
+        remaining_ -= want;
+        return want;
+    }
+
+    void
+    rewindPayload() override
+    {
+        if (gzrewind(gz_) != 0 ||
+            gzseek(gz_, static_cast<z_off_t>(payloadStart_), SEEK_SET) < 0)
+            FAMSIM_FATAL("trace '", path_, "' rewind failed");
+        remaining_ = count_;
+    }
+
+  private:
+    void
+    readExact(void* out, std::size_t bytes, const char* what)
+    {
+        auto* p = static_cast<unsigned char*>(out);
+        while (bytes > 0) {
+            unsigned chunk = static_cast<unsigned>(
+                std::min<std::size_t>(bytes, 1u << 30));
+            int got = gzread(gz_, p, chunk);
+            if (got <= 0) {
+                int errnum = Z_OK;
+                const char* msg = gzerror(gz_, &errnum);
+                if (errnum != Z_OK && errnum != Z_STREAM_END) {
+                    FAMSIM_FATAL("trace '", path_, "' ", what,
+                                 " read failed: ", msg);
+                }
+                FAMSIM_FATAL("trace '", path_, "' truncated in the ",
+                             what);
+            }
+            p += got;
+            bytes -= static_cast<std::size_t>(got);
+        }
+    }
+
+    gzFile gz_ = nullptr;
+    std::uint64_t payloadStart_ = 0;
+    std::uint64_t remaining_ = 0;
+    std::vector<unsigned char> raw_;
+};
+
+#endif // FAMSIM_HAVE_ZLIB
+
+} // namespace
+
+std::unique_ptr<TraceReader>
+TraceReader::open(const std::string& path)
+{
+    // Sniff the content, prospero-style, instead of trusting the
+    // extension: gzip magic, then the famsim binary magic, else text.
+    unsigned char head[2] = {0, 0};
+    std::size_t got = 0;
+    {
+        std::ifstream probe(path, std::ios::binary);
+        if (!probe)
+            FAMSIM_FATAL("cannot open trace file '", path, "'");
+        probe.read(reinterpret_cast<char*>(head), sizeof(head));
+        got = static_cast<std::size_t>(probe.gcount());
+    }
+    if (got == 2 && head[0] == 0x1f && head[1] == 0x8b) {
+#if FAMSIM_HAVE_ZLIB
+        return std::make_unique<GzipReaderImpl>(path);
+#else
+        FAMSIM_FATAL("cannot read gzip trace '", path,
+                     "': famsim was built without zlib");
+#endif
+    }
+    if (got == 2 && head[0] == kMagicPrefix[0] && head[1] == kMagicPrefix[1])
+        return std::make_unique<BinaryReaderImpl>(path);
+    return std::make_unique<TextReaderImpl>(path);
+}
+
+// ============================================== RecordingWorkload ==
+
+RecordingWorkload::RecordingWorkload(std::unique_ptr<WorkloadGen> inner,
+                                     const std::string& path,
+                                     TraceFormat format)
+    : inner_(std::move(inner)), writer_(path, format)
+{
+    // Record the generator's *full* reachable footprint, not just the
+    // pages the recorded prefix happens to touch: replay prefaults
+    // exactly what the original run prefaulted, which is what makes
+    // the round trip bit-identical.
+    writer_.setFootprint(inner_->footprintPages());
 }
 
 } // namespace famsim

@@ -1,0 +1,31 @@
+#!/bin/sh
+# CLI-level trace round trip: --scenario, --record-scenario and
+# --replay-scenario of the same scenario must print byte-identical
+# stats JSON (recording is observation-only; replay reproduces the
+# recorded run exactly). Honors FAMSIM_THREADS like the binary does,
+# so the CI FAMSIM_THREADS=4 ctest pass exercises the parallel kernel.
+#
+# Usage: cli_roundtrip.sh <path-to-famsim_cli> [scenario-name]
+set -eu
+
+cli=$1
+scenario=${2:-fig12_performance.mcf.deactn}
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/famsim_cli_roundtrip.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+
+"$cli" --scenario "$scenario" > "$work/synthetic.json"
+"$cli" --record-scenario "$scenario" --record "$work/traces" \
+    > "$work/recorded.json"
+"$cli" --replay-scenario "$scenario" --replay "$work/traces" \
+    > "$work/replayed.json"
+
+for produced in recorded replayed; do
+    if ! cmp -s "$work/synthetic.json" "$work/$produced.json"; then
+        echo "FAIL: $produced run diverged from the synthetic run" >&2
+        diff "$work/synthetic.json" "$work/$produced.json" >&2 || true
+        exit 1
+    fi
+done
+
+echo "round trip OK: $(wc -c < "$work/synthetic.json") bytes identical"

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -119,6 +120,42 @@ TEST(ParallelDeterminismExtra, RuntimeBrokerFaultsAreDeterministic)
         return system.sim().stats().jsonString();
     };
     EXPECT_EQ(stats_json(1), stats_json(wideThreads()));
+}
+
+/**
+ * Trace replay on the parallel kernel: a recorded scenario must replay
+ * byte-identically at any worker count, and identically to the
+ * synthetic run it was recorded from. (The registered *.selfreplay
+ * scenarios already go through the 1-vs-N matrix above; this pins the
+ * full record -> replay chain under both kernels explicitly.)
+ */
+TEST(ParallelDeterminismExtra, TraceReplayIsThreadCountInvariant)
+{
+    Scenario scenario;
+    scenario.name = "test.trace_replay_threads";
+    scenario.figure = "test";
+    scenario.headlineMetric = "ipc";
+    scenario.config = makeConfig(profiles::uniformTest(4ull << 20),
+                                 ArchKind::DeactN, 4000);
+    scenario.config.nodes = 2;
+    scenario.config.coresPerNode = 2;
+    scenario.config.seed = 5;
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("famsim_psim_replay_" +
+          std::to_string(::testing::UnitTest::GetInstance()
+                             ->random_seed())))
+            .string();
+    const std::string synthetic = runScenarioJson(scenario, 1);
+    const std::string recorded = recordScenarioTraces(
+        scenario, dir, TraceFormat::Binary, /*threads=*/1);
+    EXPECT_EQ(synthetic, recorded);
+    EXPECT_EQ(synthetic, replayScenarioJson(scenario, dir, 1));
+    EXPECT_EQ(synthetic,
+              replayScenarioJson(scenario, dir, wideThreads()));
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
 }
 
 // ------------------------------------------------ mailbox merge order
