@@ -20,6 +20,13 @@
  *     --fabric-ns <n>      one-way fabric latency in ns (default 450)
  *     --seed <n>           RNG seed (default 1)
  *     --warmup <f>         warmup fraction (default 0.3)
+ *     --jobs <n>           tenant jobs interleaved on every core
+ *                          (default 1 = single-tenant; max 64)
+ *     --skew <f>           Zipfian tenant-popularity skew (default 0;
+ *                          needs --jobs >= 2)
+ *     --churn <n>          mean tenant residency in ops before a job
+ *                          departs/arrives (default 0 = no churn;
+ *                          needs --jobs >= 2)
  *     --threads <n>        simulation kernel: 0 = serial reference
  *                          (default), >= 1 = parallel conservative-
  *                          window kernel with n worker threads.
@@ -49,7 +56,8 @@
  *     --json               dump statistics as JSON
  *     --list               list available benchmark profiles
  *     --scenario <name>    run a registered paper scenario, print JSON
- *     --list-scenarios     list registered paper scenarios
+ *     --list-scenarios     list registered paper scenarios, grouped by
+ *                          figure/family (multitenant.* etc.)
  *     --sweep <name>       run a sensitivity sweep (Fig. 13-16); with
  *                          --json print the whole curve as one JSON
  *                          object, else a summary table
@@ -87,6 +95,7 @@ printUsage(std::ostream& os, const char* argv0)
           "  [--instr n] [--nodes n] [--cores n] [--stu-entries n]\n"
           "  [--stu-assoc n] [--acm-bits 8|16|32] [--pairs 1..3]\n"
           "  [--fabric-ns n] [--seed n] [--warmup f] [--threads n]\n"
+          "  [--jobs n] [--skew f] [--churn n]\n"
           "  [--record file] [--replay file] [--replay-node n]\n"
           "  [--replay-core n] [--record-scenario name]\n"
           "  [--replay-scenario name] [--stats] [--csv] [--json]\n"
@@ -179,6 +188,9 @@ main(int argc, char** argv)
     unsigned acm_bits = 16, pairs = 2;
     std::uint64_t fabric_ns = 450, seed = 1;
     double warmup = 0.3;
+    unsigned jobs = 1;
+    double skew = 0.0;
+    std::uint64_t churn = 0;
     unsigned threads = threadsFromEnv(0);
     bool dump_stats = false, dump_csv = false, dump_json = false;
     bool show_help = false, list_profiles = false, list_scenarios = false;
@@ -225,6 +237,15 @@ main(int argc, char** argv)
         else if (arg == "--warmup")
             warmup = parseDouble(argv[0], "--warmup", need("--warmup"),
                                  0.0, 1.0);
+        else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(uintArg("--jobs", kMaxJobs));
+            if (jobs == 0)
+                badValue(argv[0], "--jobs", "0", "1 to 64 tenant jobs");
+        }
+        else if (arg == "--skew")
+            skew = parseDouble(argv[0], "--skew", need("--skew"),
+                               0.0, 10.0);
+        else if (arg == "--churn") churn = uintArg("--churn");
         else if (arg == "--threads")
             threads = static_cast<unsigned>(
                 uintArg("--threads", kUnsignedMax));
@@ -261,15 +282,25 @@ main(int argc, char** argv)
         return 0;
     }
     if (list_scenarios) {
-        for (const auto& name : ScenarioRegistry::paper().names()) {
-            const Scenario& s = ScenarioRegistry::paper().byName(name);
-            std::cout << name << "\t" << s.description << "\n";
-        }
+        // Grouped by figure/family ("fig09_acm_hit_rate", "multitenant",
+        // "trace_replay", ...): names sort family-first, so one pass
+        // with a header whenever the figure changes keeps each family's
+        // members together.
+        auto list_grouped = [](const ScenarioRegistry& reg) {
+            std::string figure;
+            for (const auto& name : reg.names()) {
+                const Scenario& s = reg.byName(name);
+                if (s.figure != figure) {
+                    figure = s.figure;
+                    std::cout << figure << ":\n";
+                }
+                std::cout << "  " << name << "\t" << s.description
+                          << "\n";
+            }
+        };
+        list_grouped(ScenarioRegistry::paper());
         // Sweep points are runnable scenarios too ("<sweep>.<label>").
-        for (const auto& name : SweepRegistry::paperPoints().names()) {
-            const Scenario& s = SweepRegistry::paperPoints().byName(name);
-            std::cout << name << "\t" << s.description << "\n";
-        }
+        list_grouped(SweepRegistry::paperPoints());
         return 0;
     }
     if (list_sweeps) {
@@ -326,8 +357,9 @@ main(int argc, char** argv)
         std::vector<const char*> pinned = {
             "--bench", "--arch", "--instr", "--nodes", "--cores",
             "--stu-entries", "--stu-assoc", "--acm-bits", "--pairs",
-            "--fabric-ns", "--seed", "--warmup", "--replay-node",
-            "--replay-core", "--stats", "--csv",
+            "--fabric-ns", "--seed", "--warmup", "--jobs", "--skew",
+            "--churn", "--replay-node", "--replay-core", "--stats",
+            "--csv",
         };
         if (record_scenario.empty())
             pinned.push_back("--record");
@@ -377,10 +409,14 @@ main(int argc, char** argv)
                       << "' (try --list-scenarios)\n";
             return 2;
         }
-        std::cout << runScenarioJson(reg.has(scenario_name)
-                                         ? reg.byName(scenario_name)
-                                         : points.byName(scenario_name),
-                                     threads);
+        // Streamed: the export goes straight to stdout as the stats
+        // registry serializes, never materializing the JSON in memory.
+        writeScenarioJson(std::cout,
+                          reg.has(scenario_name)
+                              ? reg.byName(scenario_name)
+                              : points.byName(scenario_name),
+                          threads);
+        std::cout << "\n";
         return 0;
     }
     if (!sweep_name.empty()) {
@@ -392,7 +428,7 @@ main(int argc, char** argv)
         }
         const Sweep& sweep = sweeps.byName(sweep_name);
         if (dump_json) {
-            std::cout << runSweepJson(sweep, threads);
+            writeSweepJson(std::cout, sweep, threads);
             return 0;
         }
         ScopedQuietLogs quiet_sweep;
@@ -420,7 +456,8 @@ main(int argc, char** argv)
         static const char* kNoSystemFlags[] = {
             "--arch", "--nodes", "--cores", "--stu-entries",
             "--stu-assoc", "--acm-bits", "--pairs", "--fabric-ns",
-            "--warmup", "--threads", "--stats", "--csv", "--json",
+            "--warmup", "--threads", "--jobs", "--skew", "--churn",
+            "--stats", "--csv", "--json",
         };
         for (int i = 1; i < argc; ++i) {
             for (const char* flag : kNoSystemFlags) {
@@ -454,6 +491,13 @@ main(int argc, char** argv)
     config.stu.pairsPerWay = pairs;
     config.fabric.latency = fabric_ns * kNanosecond;
     config.warmupFraction = warmup;
+    if (jobs < 2 && (skew > 0.0 || churn > 0)) {
+        std::cerr << "warning: --skew/--churn are ignored without "
+                     "--jobs >= 2 (single-tenant run)\n";
+    }
+    config.tenancy.jobs = jobs;
+    config.tenancy.zipfSkew = skew;
+    config.tenancy.churnMeanOps = churn;
 
     if (!replay_path.empty()) {
         if (replay_node && *replay_node >= nodes) {

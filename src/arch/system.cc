@@ -1,5 +1,6 @@
 #include "arch/system.hh"
 
+#include <algorithm>
 #include <atomic>
 
 #include "psim/parallel_sim.hh"
@@ -96,6 +97,13 @@ SystemConfig::finalize()
     }
     stu.acmBits = stu.acmBits == 0 ? 16 : stu.acmBits;
 
+    FAMSIM_ASSERT(tenancy.jobs >= 1 && tenancy.jobs <= kMaxJobs,
+                  "tenancy.jobs must be in [1, ", kMaxJobs, "]");
+    // Per-job attribution tables across the stack share one slot count.
+    fam.jobs = tenancy.jobs;
+    stu.jobs = tenancy.jobs;
+    broker.jobs = tenancy.jobs;
+
     // FAM capacity and module count scale with the node count (§V-D4:
     // memory pools proportional to nodes).
     fam.modules = nodes;
@@ -115,6 +123,20 @@ System::System(SystemConfig config) : config_(std::move(config)),
                                       sim_(config_.seed)
 {
     config_.finalize();
+
+    for (const MigrationEvent& ev : config_.migrations) {
+        FAMSIM_ASSERT(ev.from < config_.nodes && ev.to < config_.nodes,
+                      "migration references a node outside the system");
+        FAMSIM_ASSERT(ev.from != ev.to, "migration from a node to itself");
+        FAMSIM_ASSERT(config_.arch != ArchKind::EFam,
+                      "E-FAM nodes hold direct FAM mappings; broker "
+                      "migration cannot rebind them");
+    }
+    if (config_.tenancy.jobs > 1) {
+        jobOps_ = &sim_.stats().jobTable(
+            "jobs.mem_ops", "memory operations issued per tenant job",
+            config_.tenancy.jobs);
+    }
 
     layout_ = std::make_unique<FamLayout>(config_.fam.capacityBytes,
                                           config_.stu.acmBits,
@@ -200,9 +222,15 @@ System::buildNode(unsigned index)
         if (config_.workloadFactory)
             parts.workload = config_.workloadFactory(index, c);
         if (!parts.workload) {
-            parts.workload = std::make_unique<StreamGen>(
-                config_.profile, kWorkloadVaBase, config_.seed,
-                index * 64 + c);
+            if (config_.tenancy.jobs > 1) {
+                parts.workload = std::make_unique<MultiTenantWorkload>(
+                    config_.tenancy, config_.profile, config_.seed,
+                    index, c);
+            } else {
+                parts.workload = std::make_unique<StreamGen>(
+                    config_.profile, kWorkloadVaBase, config_.seed,
+                    index * 64 + c);
+            }
         }
         parts.tlb = std::make_unique<TwoLevelTlb>(sim_, cname + ".tlb",
                                                   config_.tlb);
@@ -220,6 +248,7 @@ System::buildNode(unsigned index)
             sim_, cname, config_.core, nid, logical,
             static_cast<CoreId>(c), *parts.workload, *parts.tlb,
             *parts.walker, *parts.l1, *node->os);
+        parts.core->setJobOpsTable(jobOps_);
         node->cores.push_back(std::move(parts));
     }
 
@@ -275,15 +304,21 @@ System::run(unsigned threads)
 
     // Warmup handling: when core 0 of node 0 crosses the warmup mark,
     // reset all statistics and open every core's measurement window.
+    Core& lead = *nodes_[0]->cores[0].core;
     if (config_.warmupFraction > 0.0) {
-        Core& lead = *nodes_[0]->cores[0].core;
-        lead.setPhaseCallback(warmupInstructions(), [this] {
+        lead.addPhaseCallback(warmupInstructions(), [this] {
             sim_.stats().resetAll();
             for (auto& node : nodes_) {
                 for (auto& core : node->cores)
                     core.core->markWindow();
             }
         });
+    }
+    // Scheduled migrations fire inline at the lead core's thresholds —
+    // mid-run, with every node's traffic in flight.
+    for (const MigrationEvent& ev : config_.migrations) {
+        lead.addPhaseCallback(ev.atInstruction,
+                              [this, ev] { executeMigration(ev, 0); });
     }
 
     for (auto& node : nodes_) {
@@ -298,6 +333,20 @@ System::run(unsigned threads)
     }
     // Drain remaining in-flight events (responses, writebacks).
     sim_.run();
+}
+
+void
+System::executeMigration(const MigrationEvent& event, Tick emit_at)
+{
+    broker_->migrateJob(event.from, event.to, event.useLogicalIds,
+                        emit_at);
+    // Cores stamp their cached logical id into every packet they
+    // issue; rebind each to its node's post-migration binding.
+    for (unsigned n = 0; n < config_.nodes; ++n) {
+        NodeId logical = broker_->logicalIdOf(static_cast<NodeId>(n));
+        for (auto& core : nodes_[n]->cores)
+            core.core->setLogicalNode(logical);
+    }
 }
 
 std::uint64_t
@@ -345,9 +394,9 @@ System::runParallel(unsigned threads)
     // reset and window marks happen at a window boundary — a
     // deterministic, thread-count-independent point — instead of
     // mid-window while other partitions are running.
+    Core& lead = *nodes_[0]->cores[0].core;
     if (config_.warmupFraction > 0.0) {
-        Core& lead = *nodes_[0]->cores[0].core;
-        lead.setPhaseCallback(warmupInstructions(), [this, &psim] {
+        lead.addPhaseCallback(warmupInstructions(), [this, &psim] {
             psim.postGlobal(sim_.curTick(), [this] {
                 sim_.stats().resetAll();
                 for (auto& node : nodes_) {
@@ -355,6 +404,18 @@ System::runParallel(unsigned threads)
                         core.core->markWindow();
                 }
             });
+        });
+    }
+    // Scheduled migrations mutate state read lock-free from every
+    // partition (ACM map, FAM tables, STU caches), so they run as
+    // global barrier ops. The broker service latency matches the
+    // node->broker lookahead floor, making the due tick conservative;
+    // the op may then schedule its ACM rewrite traffic at that tick.
+    for (const MigrationEvent& ev : config_.migrations) {
+        lead.addPhaseCallback(ev.atInstruction, [this, &psim, ev] {
+            Tick due = sim_.curTick() + config_.broker.serviceLatency;
+            psim.postGlobal(
+                due, [this, ev, due] { executeMigration(ev, due); });
         });
     }
 
@@ -391,6 +452,17 @@ System::ipc() const
             sum += core.core->ipc();
     }
     return sum;
+}
+
+Tick
+System::elapsedTicks() const
+{
+    Tick latest = 0;
+    for (const auto& node : nodes_) {
+        for (const auto& core : node->cores)
+            latest = std::max(latest, core.core->localTime());
+    }
+    return latest;
 }
 
 double

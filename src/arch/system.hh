@@ -30,6 +30,7 @@
 #include "vm/node_os.hh"
 #include "vm/tlb.hh"
 #include "vm/walker.hh"
+#include "workload/multi_tenant.hh"
 #include "workload/stream_gen.hh"
 
 namespace famsim {
@@ -49,6 +50,20 @@ toString(ArchKind arch)
     }
     return "?";
 }
+
+/**
+ * One scheduled broker migration, fired when the lead core (node 0,
+ * core 0) crosses @c atInstruction retired instructions — mid-run, so
+ * traffic from every node is in flight when the broker rebinds the
+ * job. See MemoryBroker::migrateJob for the two id-rebinding paths.
+ */
+struct MigrationEvent {
+    std::uint64_t atInstruction = 0;
+    NodeId from = 0;
+    NodeId to = 0;
+    /** True: swap logical ids (cheap path). False: rewrite the ACM. */
+    bool useLogicalIds = true;
+};
 
 /** Complete system configuration (defaults reproduce Table II). */
 struct SystemConfig {
@@ -75,6 +90,17 @@ struct SystemConfig {
 
     /** Workload run (identically, rate-mode) on every core. */
     StreamProfile profile = profiles::byName("mcf");
+
+    /**
+     * Multi-tenant knobs: tenancy.jobs > 1 replaces each core's
+     * StreamGen with a MultiTenantWorkload over @ref profile and turns
+     * on per-job attribution tables across the stack (jobs.mem_ops,
+     * fam.job_requests, per-node STU tables, broker.job_faults). The
+     * default (1 job) leaves workloads, stats and goldens untouched.
+     */
+    TenancyParams tenancy{};
+    /** Broker migrations fired at lead-core instruction thresholds. */
+    std::vector<MigrationEvent> migrations;
 
     /**
      * Optional per-core workload source. When set, it is invoked for
@@ -156,6 +182,13 @@ class System
     [[nodiscard]] double acmHitRate() const;
     /** LLC misses per kilo-instruction (Table III check). */
     [[nodiscard]] double mpki() const;
+    /**
+     * Simulated run length: the latest per-core completion time. Valid
+     * after both kernels (the parallel run leaves the global clock at
+     * its last barrier, but per-core local times always reach the end
+     * of the run) and deterministic across thread counts.
+     */
+    [[nodiscard]] Tick elapsedTicks() const;
 
     /** Windows (= barrier rounds) of the last parallel run; 0 after a
      *  serial run. The cadence metric behind the fig16 scaling rows in
@@ -183,6 +216,12 @@ class System
     void buildNode(unsigned index);
     void prefaultNode(unsigned index);
     void runParallel(unsigned threads);
+    /**
+     * Run one scheduled migration: rebind at the broker, then refresh
+     * every core's cached logical id. @p emit_at is the global barrier
+     * op's due tick under the parallel kernel, 0 on the serial path.
+     */
+    void executeMigration(const MigrationEvent& event, Tick emit_at);
     [[nodiscard]] std::uint64_t warmupInstructions() const;
 
     SystemConfig config_;
@@ -194,6 +233,9 @@ class System
     std::unique_ptr<FabricLink> fabric_;
     std::unique_ptr<MemoryBroker> broker_;
     std::vector<std::unique_ptr<NodeParts>> nodes_;
+
+    /** Per-job issued-ops table (registered when tenancy.jobs > 1). */
+    JobStatTable* jobOps_ = nullptr;
 
     unsigned finished_ = 0;
     std::uint64_t parallelWindows_ = 0;

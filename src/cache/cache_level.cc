@@ -59,6 +59,7 @@ CacheLevel::lookup(const PktPtr& pkt)
     // origin of the packet that triggered it.
     PktPtr fill = makePacket(pkt->node, pkt->core, MemOp::Read, pkt->kind);
     fill->logicalNode = pkt->logicalNode;
+    fill->job = pkt->job;
     fill->npa = NPAddr(pkt->npa.blockAddr().value());
     fill->vaddr = pkt->vaddr;
     fill->issued = sim_.curTick();
@@ -92,6 +93,7 @@ CacheLevel::handleFill(std::uint64_t block_key, const PktPtr&)
         PktPtr wb = makePacket(first->node, first->core, MemOp::Write,
                                evicted->value.kind);
         wb->logicalNode = first->logicalNode;
+        wb->job = first->job;
         wb->npa = NPAddr(evicted->key * kBlockSize);
         wb->writeback = true;
         wb->issued = sim_.curTick();

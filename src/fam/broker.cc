@@ -36,6 +36,11 @@ MemoryBroker::MemoryBroker(Simulation& sim, const std::string& name,
       pteWrites_(statCounter("pte_writes", "FAM PTEs written")),
       migrations_(statCounter("migrations", "jobs migrated"))
 {
+    if (params_.jobs > 1) {
+        jobFaults_ = &statJobTable(
+            "job_faults", "system-level faults serviced per tenant job",
+            params_.jobs);
+    }
     std::uint64_t reserve = layout.sharedReservePages();
     std::uint64_t usable = layout.usablePages();
     FAMSIM_ASSERT(usable > reserve + 1,
@@ -165,7 +170,8 @@ MemoryBroker::scheduleBrokerWrite(ParallelSim& psim, NodeId node,
 
 void
 MemoryBroker::handleUnmapped(NodeId phys_node, std::uint64_t npa_page,
-                             std::function<void(std::uint64_t)> done)
+                             std::function<void(std::uint64_t)> done,
+                             JobId job)
 {
     FAMSIM_ASSERT(done, "handleUnmapped needs a completion callback");
     if (ParallelSim* psim = sim_.parallel()) {
@@ -184,8 +190,11 @@ MemoryBroker::handleUnmapped(NodeId phys_node, std::uint64_t npa_page,
                       "system-level fault from outside a partition");
         Tick due = sim_.curTick() + params_.serviceLatency;
         psim->postGlobal(due, [this, psim, origin, phys_node, npa_page,
-                               due, done = std::move(done)]() mutable {
+                               due, job,
+                               done = std::move(done)]() mutable {
             ++faults_;
+            if (jobFaults_)
+                jobFaults_->add(job);
             NodeId logical = logicalIdOf(phys_node);
             std::uint64_t fam_page = allocPage(logical, Perms{});
             famTableOf(phys_node).map(npa_page, fam_page, Perms{});
@@ -202,6 +211,8 @@ MemoryBroker::handleUnmapped(NodeId phys_node, std::uint64_t npa_page,
         return;
     }
     ++faults_;
+    if (jobFaults_)
+        jobFaults_->add(job);
     sim_.events().scheduleAfter(
         params_.serviceLatency,
         [this, phys_node, npa_page, done = std::move(done)] {
@@ -271,7 +282,8 @@ MemoryBroker::addInvalidateListener(InvalidateFn fn)
 }
 
 MemoryBroker::MigrationReport
-MemoryBroker::migrateJob(NodeId from, NodeId to, bool use_logical_ids)
+MemoryBroker::migrateJob(NodeId from, NodeId to, bool use_logical_ids,
+                         Tick emit_at)
 {
     // The target may never have faulted (a freshly drained node is a
     // natural migration destination): give it a logical id and an
@@ -296,8 +308,23 @@ MemoryBroker::migrateJob(NodeId from, NodeId to, bool use_logical_ids)
         auto pages = acm_.pagesOwnedBy(from_logical);
         report.pagesMoved = pages.size();
         report.acmWrites = acm_.reassignOwner(from_logical, to_logical);
+        BrokerWriteEmit emit = [this](NodeId node, FamAddr block) {
+            emitBrokerWrite(node, block);
+        };
+        if (ParallelSim* psim = sim_.parallel(); psim && media_) {
+            // Called from a global barrier op: the workers are
+            // quiescent, so scheduling onto the owning media partitions
+            // at the op's due tick is safe, while a direct media access
+            // would execute outside the module's partition.
+            FAMSIM_ASSERT(emit_at != 0,
+                          "parallel migration needs the barrier op's "
+                          "due tick for its ACM traffic");
+            emit = [this, psim, emit_at](NodeId node, FamAddr block) {
+                scheduleBrokerWrite(*psim, node, block, emit_at);
+            };
+        }
         for (std::uint64_t page : pages)
-            writeAcmTraffic(page);
+            writeAcmTraffic(page, emit);
     }
 
     // Move the system-level NPA->FAM mappings with the job: the

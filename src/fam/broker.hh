@@ -49,6 +49,11 @@ struct BrokerParams {
     bool scatterAllocation = true;
     /** Bytes at the top of usable space reserved for shared regions. */
     std::uint64_t sharedReserveBytes = std::uint64_t{2} << 30;
+    /**
+     * Tenant jobs sharing the system (SystemConfig::tenancy.jobs).
+     * > 1 registers the per-job fault attribution table.
+     */
+    unsigned jobs = 1;
 };
 
 /**
@@ -78,9 +83,11 @@ class MemoryBroker : public Component
      * has no FAM mapping. After the service latency the broker
      * allocates a page, installs the FAM PTE + ACM entry (generating
      * FAM write traffic) and invokes @p done with the FAM page.
+     * @p job attributes the fault to its tenant (multi-tenant runs).
      */
     void handleUnmapped(NodeId phys_node, std::uint64_t npa_page,
-                        std::function<void(std::uint64_t fam_page)> done);
+                        std::function<void(std::uint64_t fam_page)> done,
+                        JobId job = 0);
 
     /** System-level page table for @p phys_node (NPA page -> FAM page). */
     [[nodiscard]] HierarchicalPageTable& famTableOf(NodeId phys_node);
@@ -124,9 +131,16 @@ class MemoryBroker : public Component
      * is untouched (the logical id follows the job); otherwise every
      * owned page's ACM entry is rewritten. @p to is registered on the
      * fly if it never faulted before; @p from must be registered.
+     *
+     * Under the parallel kernel this must be called from a global
+     * barrier op, with @p emit_at the op's due tick: the ACM rewrite
+     * traffic is then scheduled onto the owning media partitions at
+     * that tick instead of accessing the media directly (which would
+     * run outside its owning partition). Serial callers leave
+     * @p emit_at at 0.
      */
     MigrationReport migrateJob(NodeId from, NodeId to,
-                               bool use_logical_ids);
+                               bool use_logical_ids, Tick emit_at = 0);
 
     [[nodiscard]] const BrokerParams& params() const { return params_; }
     [[nodiscard]] std::uint64_t pagesAllocated() const
@@ -192,6 +206,8 @@ class MemoryBroker : public Component
     Counter& acmWrites_;
     Counter& pteWrites_;
     Counter& migrations_;
+    /** Per-job fault attribution (null when single-tenant). */
+    JobStatTable* jobFaults_ = nullptr;
 };
 
 } // namespace famsim

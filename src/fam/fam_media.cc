@@ -26,6 +26,15 @@ FamMedia::FamMedia(Simulation& sim, const std::string& name,
                                 "broker bookkeeping requests at FAM"))
 {
     FAMSIM_ASSERT(params.modules > 0, "FAM needs at least one module");
+    if (params_.jobs > 1) {
+        jobRequests_ = &statJobTable(
+            "job_requests", "requests at FAM per tenant job",
+            params_.jobs);
+        jobAt_ = &statJobTable("job_at_requests",
+                               "address-translation requests at FAM "
+                               "per tenant job",
+                               params_.jobs);
+    }
     for (unsigned i = 0; i < params.modules; ++i) {
         modules_.push_back(std::make_unique<BankedMemory>(
             sim, name + ".module" + std::to_string(i), params.nvm));
@@ -48,6 +57,11 @@ FamMedia::access(const PktPtr& pkt)
                       "partition");
     }
     ++total_;
+    if (jobRequests_) {
+        jobRequests_->add(pkt->job);
+        if (pkt->isTranslation())
+            jobAt_->add(pkt->job);
+    }
     switch (pkt->kind) {
       case PacketKind::Data: ++data_; break;
       case PacketKind::FamPtw: ++at_; ++famPtw_; break;

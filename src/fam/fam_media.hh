@@ -31,6 +31,11 @@ struct FamMediaParams {
         .frontendLatency = 5 * kNanosecond,
         .maxOutstanding = 128,
     };
+    /**
+     * Tenant jobs sharing the pool (SystemConfig::tenancy.jobs).
+     * > 1 registers the per-job request attribution tables.
+     */
+    unsigned jobs = 1;
 };
 
 /** The fabric-attached NVM pool(s). Accessed with FAM addresses. */
@@ -87,6 +92,11 @@ class FamMedia : public Component
     SharedCounter& bitmap_;
     SharedCounter& nodePtw_;
     SharedCounter& broker_;
+    // Per-job attribution: same relaxed-atomic order-independence
+    // argument as the SharedCounters above; null when single-tenant so
+    // the default hot path carries no extra bump.
+    JobStatTable* jobRequests_ = nullptr;
+    JobStatTable* jobAt_ = nullptr;
 };
 
 } // namespace famsim

@@ -1,5 +1,6 @@
 #include "harness/scenario.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <sstream>
@@ -43,6 +44,28 @@ makeScenario(const std::string& figure, const std::string& description,
       case ArchKind::DeactN: arch_tag = "deactn"; break;
     }
     s.name = figure + "." + bench + "." + arch_tag;
+    return s;
+}
+
+/**
+ * A multi-tenant scenario: the Table II system with several competing
+ * jobs interleaved on every core (workload/multi_tenant.hh). All three
+ * family members run mcf — the paper's canonical AT-sensitive
+ * benchmark — on DeACT-N with two nodes, so the tenants contend for
+ * the shared STU, ACM and FAM media paths that the per-job tables
+ * attribute.
+ */
+Scenario
+makeTenantScenario(const std::string& tag, const std::string& description,
+                   const TenancyParams& tenancy,
+                   std::vector<MigrationEvent> migrations = {})
+{
+    Scenario s = makeScenario("multitenant", description, "ipc", "mcf",
+                              ArchKind::DeactN);
+    s.name = "multitenant." + tag + ".deactn";
+    s.config.nodes = 2;
+    s.config.tenancy = tenancy;
+    s.config.migrations = std::move(migrations);
     return s;
 }
 
@@ -160,6 +183,50 @@ buildPaperRegistry()
         "Hot-skewed mcf stream recorded to a gzip trace and "
         "self-replayed (trace frontend regression lock)"));
 
+    // Multi-tenant family (no paper counterpart — the ROADMAP's
+    // multi-workload axis): steady-state contention, tenant churn and
+    // data migration under tenant load. Each exports per-job
+    // attribution tables plus fairness summaries; the goldens pin the
+    // whole job dimension, and the churn scenario's parallel export is
+    // byte-identical for every worker count (tested like every other
+    // registered scenario).
+    {
+        TenancyParams tenancy;
+        tenancy.jobs = 4;
+        tenancy.zipfSkew = 0.8;
+        reg.add(makeTenantScenario(
+            "contention",
+            "Four Zipf-skewed tenant jobs per core contending for the "
+            "translation structures (steady state, no churn)",
+            tenancy));
+
+        tenancy.churnMeanOps = 6000;
+        reg.add(makeTenantScenario(
+            "churn",
+            "Four Zipf-skewed tenant jobs with Poisson-ish arrival/"
+            "departure churn (mean residency 6000 ops)",
+            tenancy));
+    }
+    {
+        TenancyParams tenancy;
+        tenancy.jobs = 2;
+        tenancy.zipfSkew = 0.5;
+        // Three broker migrations while both tenants keep issuing:
+        // bounce the hot node's data away and back through the logical
+        // indirection, then force a physical-id move (the PR-2
+        // unknown-target registration path).
+        std::vector<MigrationEvent> storm;
+        storm.push_back({20000, 0, 1, true});
+        storm.push_back({30000, 1, 0, true});
+        storm.push_back({40000, 0, 1, false});
+        reg.add(makeTenantScenario(
+            "migration_storm",
+            "Two tenant jobs under a broker data-migration storm: "
+            "logical bounce 0->1->0, then a physical-id move at full "
+            "load",
+            tenancy, std::move(storm)));
+    }
+
     return reg;
 }
 
@@ -218,15 +285,131 @@ ScenarioRegistry::names() const
     return out;
 }
 
-std::string
-runScenarioJson(const Scenario& scenario, unsigned threads)
+namespace {
+
+/** Write a per-job counter array, zero-padded to @p jobs slots. */
+void
+writeJobArray(std::ostream& os, const std::vector<std::uint64_t>& values,
+              unsigned jobs)
+{
+    os << "[";
+    for (unsigned j = 0; j < jobs; ++j)
+        os << (j ? ", " : "") << (j < values.size() ? values[j] : 0);
+    os << "]";
+}
+
+/**
+ * The "jobs" export block of a multi-tenant scenario: per-job
+ * attribution tables (summed across components where a table is
+ * per-node, like the STU's) plus fairness/isolation summaries.
+ *
+ * Throughput figures divide each tenant's post-warmup op count by the
+ * run's final tick. The tick base includes warmup while the op counts
+ * do not; the single-tenant baseline run shares exactly that bias, so
+ * the slowdown ratios (fair share of the solo throughput over the
+ * tenant's achieved throughput) stay meaningful. Tenants that issued
+ * no post-warmup ops (churned out for the whole window) are excluded
+ * from the spread and slowdown aggregates.
+ */
+void
+writeJobFairness(std::ostream& os, const Scenario& scenario,
+                 System& system, unsigned threads)
+{
+    const unsigned jobs = scenario.config.tenancy.jobs;
+    const StatRegistry& stats = system.sim().stats();
+    const std::vector<std::uint64_t> ops = stats.sumJobTables("jobs.mem_ops");
+
+    os << ",\n  \"jobs\": {\n    \"count\": " << jobs;
+    struct Table {
+        const char* key;
+        const char* suffix;
+    };
+    constexpr Table kTables[] = {
+        {"mem_ops", "jobs.mem_ops"},
+        {"fam_requests", ".job_requests"},
+        {"fam_at_requests", ".job_at_requests"},
+        {"acm_lookups", ".job_acm_lookups"},
+        {"acm_hits", ".job_acm_hits"},
+        {"denials", ".job_denials"},
+        {"broker_faults", ".job_faults"},
+    };
+    for (const Table& table : kTables) {
+        os << ",\n    \"" << table.key << "\": ";
+        writeJobArray(os, stats.sumJobTables(table.suffix), jobs);
+    }
+
+    // Single-tenant baseline of the same configuration and kernel: its
+    // whole-system throughput, split fairly across the tenant count,
+    // is what a perfectly isolated tenant would achieve.
+    SystemConfig solo_config = scenario.config;
+    solo_config.tenancy = TenancyParams{};
+    System solo(solo_config);
+    solo.run(threads);
+    const double solo_ops = solo.sim().stats().sumMatching(".mem_ops");
+    const double solo_ticks = static_cast<double>(solo.elapsedTicks());
+    const double fair_share =
+        solo_ticks > 0.0 ? solo_ops / solo_ticks / jobs : 0.0;
+
+    const double ticks = static_cast<double>(system.elapsedTicks());
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::uint64_t min_ops = 0;
+    std::uint64_t max_ops = 0;
+    double slow_min = 0.0;
+    double slow_max = 0.0;
+    bool any = false;
+    for (unsigned j = 0; j < jobs; ++j) {
+        const std::uint64_t count = j < ops.size() ? ops[j] : 0;
+        const double x = static_cast<double>(count);
+        sum += x;
+        sum_sq += x * x;
+        if (count == 0)
+            continue;
+        const double throughput = ticks > 0.0 ? x / ticks : 0.0;
+        const double slowdown =
+            throughput > 0.0 ? fair_share / throughput : 0.0;
+        if (!any) {
+            min_ops = max_ops = count;
+            slow_min = slow_max = slowdown;
+            any = true;
+        } else {
+            min_ops = std::min(min_ops, count);
+            max_ops = std::max(max_ops, count);
+            slow_min = std::min(slow_min, slowdown);
+            slow_max = std::max(slow_max, slowdown);
+        }
+    }
+    const double spread =
+        min_ops > 0 ? static_cast<double>(max_ops) /
+                          static_cast<double>(min_ops)
+                    : 0.0;
+    const double jain =
+        sum_sq > 0.0 ? sum * sum / (jobs * sum_sq) : 0.0;
+
+    os << ",\n    \"fairness\": {\n      \"throughput_spread\": ";
+    json::writeNumber(os, spread);
+    os << ",\n      \"jain_index\": ";
+    json::writeNumber(os, jain);
+    os << ",\n      \"solo_throughput\": ";
+    json::writeNumber(os, solo_ticks > 0.0 ? solo_ops / solo_ticks : 0.0);
+    os << ",\n      \"slowdown_min\": ";
+    json::writeNumber(os, slow_min);
+    os << ",\n      \"slowdown_max\": ";
+    json::writeNumber(os, slow_max);
+    os << "\n    }\n  }";
+}
+
+} // namespace
+
+void
+writeScenarioJson(std::ostream& os, const Scenario& scenario,
+                  unsigned threads)
 {
     ScopedQuietLogs quiet;
     System system(scenario.config);
     system.run(threads);
     const RunResult metrics = summarize(system);
 
-    std::ostringstream os;
     os << "{\n  \"scenario\": ";
     json::writeString(os, scenario.name);
     os << ",\n  \"figure\": ";
@@ -263,9 +446,20 @@ runScenarioJson(const Scenario& scenario, unsigned threads)
        << ",\n    \"fam_at_requests\": " << metrics.famAtRequests
        << "\n  }";
 
+    if (config.tenancy.jobs > 1)
+        writeJobFairness(os, scenario, system, threads);
+
     os << ",\n  \"stats\": ";
     system.sim().stats().dumpJson(os, 2);
-    os << "\n}\n";
+    os << "\n}";
+}
+
+std::string
+runScenarioJson(const Scenario& scenario, unsigned threads)
+{
+    std::ostringstream os;
+    writeScenarioJson(os, scenario, threads);
+    os << "\n";
     return os.str();
 }
 

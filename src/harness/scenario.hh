@@ -18,6 +18,7 @@
 #define FAMSIM_HARNESS_SCENARIO_HH
 
 #include <map>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,23 @@ class ScenarioRegistry
  */
 [[nodiscard]] std::string runScenarioJson(const Scenario& scenario,
                                           unsigned threads = 0);
+
+/**
+ * Streaming core of runScenarioJson: writes the export directly to
+ * @p os (no materialized string, so multi-megabyte exports stream to
+ * disk in O(1) memory) ending at the closing brace with no trailing
+ * newline. runScenarioJson(scenario, threads) is byte-identical to
+ * this plus a final "\n".
+ *
+ * Multi-tenant scenarios (config.tenancy.jobs > 1) additionally export
+ * a "jobs" object: the per-job attribution tables summed across
+ * components plus fairness/isolation summaries. The slowdown figures
+ * compare each tenant's post-warmup throughput against its fair share
+ * of ONE extra single-tenant baseline run of the same configuration at
+ * the same thread count (see DESIGN.md "Multi-tenant job model").
+ */
+void writeScenarioJson(std::ostream& os, const Scenario& scenario,
+                       unsigned threads = 0);
 
 // ------------------------------------------------ trace capture/replay
 

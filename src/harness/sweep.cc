@@ -1,6 +1,8 @@
 #include "harness/sweep.hh"
 
+#include <ostream>
 #include <sstream>
+#include <streambuf>
 
 #include "harness/runner.hh"
 #include "sim/logging.hh"
@@ -256,10 +258,52 @@ goldenSweepPointNames()
     };
 }
 
-std::string
-runSweepJson(const Sweep& sweep, unsigned threads)
+namespace {
+
+/**
+ * A streambuf filter that prepends @p indent spaces to every line it
+ * forwards. The indent is emitted lazily — after a '\n', before the
+ * next character — so output that ends mid-line (every scenario export
+ * ends at its closing brace) never grows trailing whitespace. This is
+ * what lets a sweep embed each point's scenario export without
+ * materializing it: writeScenarioJson streams through the filter
+ * straight into the destination.
+ */
+class IndentingBuf : public std::streambuf
 {
-    std::ostringstream os;
+  public:
+    IndentingBuf(std::streambuf* dest, int indent)
+        : dest_(dest), indent_(indent)
+    {}
+
+  protected:
+    int_type
+    overflow(int_type ch) override
+    {
+        if (traits_type::eq_int_type(ch, traits_type::eof()))
+            return traits_type::not_eof(ch);
+        if (atLineStart_ && ch != '\n') {
+            for (int i = 0; i < indent_; ++i) {
+                if (dest_->sputc(' ') == traits_type::eof())
+                    return traits_type::eof();
+            }
+        }
+        atLineStart_ = ch == '\n';
+        return dest_->sputc(traits_type::to_char_type(ch));
+    }
+
+  private:
+    std::streambuf* dest_;
+    int indent_;
+    /** True immediately after a newline (indent owed to the next char). */
+    bool atLineStart_ = false;
+};
+
+} // namespace
+
+void
+writeSweepJson(std::ostream& os, const Sweep& sweep, unsigned threads)
+{
     os << "{\n  \"sweep\": ";
     json::writeString(os, sweep.name);
     os << ",\n  \"description\": ";
@@ -279,23 +323,24 @@ runSweepJson(const Sweep& sweep, unsigned threads)
     os << ",\n  \"points\": [";
     bool first = true;
     for (const auto& p : sweep.axis.points) {
-        // Each point embeds the full scenario export, reindented to
-        // nest inside the points array.
-        std::string body = runScenarioJson(sweep.point(p), threads);
-        while (!body.empty() &&
-               (body.back() == '\n' || body.back() == ' '))
-            body.pop_back();
-        std::string indented;
-        indented.reserve(body.size() + 128);
-        for (char c : body) {
-            indented.push_back(c);
-            if (c == '\n')
-                indented.append("    ");
-        }
-        os << (first ? "" : ",") << "\n    " << indented;
+        // Each point streams its full scenario export through the
+        // indenting filter, nesting it inside the points array.
+        os << (first ? "" : ",") << "\n    ";
+        os.flush();
+        IndentingBuf indenter(os.rdbuf(), 4);
+        std::ostream nested(&indenter);
+        writeScenarioJson(nested, sweep.point(p), threads);
+        nested.flush();
         first = false;
     }
     os << "\n  ]\n}\n";
+}
+
+std::string
+runSweepJson(const Sweep& sweep, unsigned threads)
+{
+    std::ostringstream os;
+    writeSweepJson(os, sweep, threads);
     return os.str();
 }
 

@@ -107,6 +107,15 @@ class SweepRegistry
 [[nodiscard]] std::string runSweepJson(const Sweep& sweep,
                                        unsigned threads = 0);
 
+/**
+ * Streaming core of runSweepJson: writes the export directly to @p os
+ * (each point's scenario export streams through an indenting filter —
+ * nothing is materialized, so arbitrarily large sweeps export in O(1)
+ * memory). Byte-identical to runSweepJson(sweep, threads).
+ */
+void writeSweepJson(std::ostream& os, const Sweep& sweep,
+                    unsigned threads = 0);
+
 } // namespace famsim
 
 #endif // FAMSIM_HARNESS_SWEEP_HH

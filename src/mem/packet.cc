@@ -106,6 +106,7 @@ makePacket(NodeId node, CoreId core, MemOp op, PacketKind kind)
     pkt->node = node;
     pkt->logicalNode = node;
     pkt->core = core;
+    pkt->job = 0;
     pkt->op = op;
     pkt->kind = kind;
     return PktPtr(pkt);

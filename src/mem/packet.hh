@@ -65,6 +65,8 @@ struct Packet {
     NodeId logicalNode = 0;
     /** Core within the node (for per-core stats). */
     CoreId core = 0;
+    /** Tenant job that generated this request (0 when single-tenant). */
+    JobId job = 0;
 
     MemOp op = MemOp::Read;
     PacketKind kind = PacketKind::Data;

@@ -1,5 +1,7 @@
 #include "node/core.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace famsim {
@@ -46,10 +48,25 @@ Core::start(std::function<void()> on_finish)
 }
 
 void
-Core::setPhaseCallback(std::uint64_t instructions, std::function<void()> fn)
+Core::addPhaseCallback(std::uint64_t instructions, std::function<void()> fn)
 {
-    phaseAt_ = instructions;
-    phaseFn_ = std::move(fn);
+    auto pos = std::upper_bound(
+        phaseHooks_.begin(), phaseHooks_.end(), instructions,
+        [](std::uint64_t at, const PhaseHook& hook) { return at < hook.at; });
+    phaseHooks_.insert(pos, PhaseHook{instructions, std::move(fn)});
+    nextPhaseAt_ = phaseHooks_.front().at;
+}
+
+void
+Core::firePhaseCallbacks()
+{
+    while (!phaseHooks_.empty() && instRetired_ >= phaseHooks_.front().at) {
+        auto fn = std::move(phaseHooks_.front().fn);
+        phaseHooks_.erase(phaseHooks_.begin());
+        nextPhaseAt_ =
+            phaseHooks_.empty() ? kNoPhase : phaseHooks_.front().at;
+        fn();
+    }
 }
 
 void
@@ -104,11 +121,8 @@ Core::resume()
             instRetired_ += gap;
             instructions_ += gap;
             localTime_ += gap * params_.period / params_.issueWidth;
-            if (phaseFn_ && instRetired_ >= phaseAt_) {
-                auto fn = std::move(phaseFn_);
-                phaseFn_ = nullptr;
-                fn();
-            }
+            if (instRetired_ >= nextPhaseAt_)
+                firePhaseCallbacks();
             if (instRetired_ >= params_.instructionLimit)
                 break;
             pendingOp_ = op;
@@ -130,11 +144,8 @@ Core::resume()
         ++instRetired_;
         ++instructions_;
         localTime_ += params_.period / params_.issueWidth;
-        if (phaseFn_ && instRetired_ >= phaseAt_) {
-            auto fn = std::move(phaseFn_);
-            phaseFn_ = nullptr;
-            fn();
-        }
+        if (instRetired_ >= nextPhaseAt_)
+            firePhaseCallbacks();
 
         if (op.blocking) {
             ++blockingStalls_;
@@ -193,10 +204,13 @@ void
 Core::issueMemOp(const MemOpDesc& op, NPAddr npa)
 {
     ++memOps_;
+    if (jobOps_)
+        jobOps_->add(op.job);
     PktPtr pkt = makePacket(node_, coreId_,
                             op.write ? MemOp::Write : MemOp::Read,
                             PacketKind::Data);
     pkt->logicalNode = logicalNode_;
+    pkt->job = op.job;
     pkt->vaddr = VAddr(op.vaddr);
     pkt->npa = npa;
     pkt->issued = localTime_;

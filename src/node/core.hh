@@ -24,6 +24,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cache/cache_level.hh"
 #include "sim/simulation.hh"
@@ -62,9 +63,11 @@ class Core : public Component
 
     /**
      * Register a callback invoked (once) when retired instructions
-     * reach @p instructions — used to end the warmup window.
+     * reach @p instructions. Several callbacks may be pending at once
+     * (warmup end plus scheduled job migrations); they fire in
+     * threshold order, insertion order breaking ties.
      */
-    void setPhaseCallback(std::uint64_t instructions,
+    void addPhaseCallback(std::uint64_t instructions,
                           std::function<void()> fn);
 
     /** Mark the start of the measurement window "now". */
@@ -84,6 +87,12 @@ class Core : public Component
     /** Update the logical node id (job migration). */
     void setLogicalNode(NodeId logical) { logicalNode_ = logical; }
 
+    /**
+     * Attach the per-job issued-ops table (multi-tenant runs only;
+     * null keeps the single-tenant hot path free of the extra bump).
+     */
+    void setJobOpsTable(JobStatTable* table) { jobOps_ = table; }
+
   private:
     enum class WaitState : std::uint8_t {
         Running,
@@ -94,6 +103,8 @@ class Core : public Component
     };
 
     void resume();
+    /** Fire every pending phase callback whose threshold was crossed. */
+    void firePhaseCallbacks();
     /** Translate pendingOp_; @return NPA or nullopt if waiting. */
     std::optional<NPAddr> translate(const MemOpDesc& op);
     void onWalkDone(std::uint64_t va_page,
@@ -121,8 +132,18 @@ class Core : public Component
     bool resumeScheduled_ = false;
 
     std::function<void()> onFinish_;
-    std::uint64_t phaseAt_ = 0;
-    std::function<void()> phaseFn_;
+    /** Pending phase callbacks, sorted by threshold. */
+    struct PhaseHook {
+        std::uint64_t at;
+        std::function<void()> fn;
+    };
+    std::vector<PhaseHook> phaseHooks_;
+    /** phaseHooks_.front().at, cached for the retire hot path. */
+    std::uint64_t nextPhaseAt_ = kNoPhase;
+    static constexpr std::uint64_t kNoPhase = ~std::uint64_t{0};
+
+    /** Per-job issued-ops attribution (null when single-tenant). */
+    JobStatTable* jobOps_ = nullptr;
 
     /** Measurement window markers. */
     std::uint64_t windowStartInst_ = 0;

@@ -156,6 +156,14 @@ class Component
                                       bucket_width, buckets);
     }
 
+    /** Register a per-job counter table under this component's prefix. */
+    JobStatTable&
+    statJobTable(const std::string& leaf, const std::string& desc,
+                 unsigned jobs)
+    {
+        return sim_.stats().jobTable(name_ + "." + leaf, desc, jobs);
+    }
+
     Simulation& sim_;
 
   private:

@@ -102,7 +102,8 @@ StatRegistry::counter(const std::string& name, const std::string& desc)
 {
     auto& entry = entries_[name];
     if (!entry.counter) {
-        FAMSIM_ASSERT(!entry.shared && !entry.scalar && !entry.histogram,
+        FAMSIM_ASSERT(!entry.shared && !entry.scalar && !entry.histogram &&
+                          !entry.jobs,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.counter = std::make_unique<Counter>();
@@ -116,7 +117,8 @@ StatRegistry::sharedCounter(const std::string& name,
 {
     auto& entry = entries_[name];
     if (!entry.shared) {
-        FAMSIM_ASSERT(!entry.counter && !entry.scalar && !entry.histogram,
+        FAMSIM_ASSERT(!entry.counter && !entry.scalar && !entry.histogram &&
+                          !entry.jobs,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.shared = std::make_unique<SharedCounter>();
@@ -129,7 +131,8 @@ StatRegistry::scalar(const std::string& name, const std::string& desc)
 {
     auto& entry = entries_[name];
     if (!entry.scalar) {
-        FAMSIM_ASSERT(!entry.counter && !entry.shared && !entry.histogram,
+        FAMSIM_ASSERT(!entry.counter && !entry.shared && !entry.histogram &&
+                          !entry.jobs,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.scalar = std::make_unique<Scalar>();
@@ -143,12 +146,31 @@ StatRegistry::histogram(const std::string& name, const std::string& desc,
 {
     auto& entry = entries_[name];
     if (!entry.histogram) {
-        FAMSIM_ASSERT(!entry.counter && !entry.shared && !entry.scalar,
+        FAMSIM_ASSERT(!entry.counter && !entry.shared && !entry.scalar &&
+                          !entry.jobs,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.histogram = std::make_unique<Histogram>(bucket_width, buckets);
     }
     return *entry.histogram;
+}
+
+JobStatTable&
+StatRegistry::jobTable(const std::string& name, const std::string& desc,
+                       unsigned jobs)
+{
+    FAMSIM_ASSERT(jobs >= 1, "job table '", name, "' needs >= 1 slot");
+    auto& entry = entries_[name];
+    if (!entry.jobs) {
+        FAMSIM_ASSERT(!entry.counter && !entry.shared && !entry.scalar &&
+                          !entry.histogram,
+                      "stat '", name, "' re-registered with another type");
+        entry.desc = desc;
+        entry.jobs = std::make_unique<JobStatTable>(jobs);
+    }
+    FAMSIM_ASSERT(entry.jobs->jobs() == jobs, "job table '", name,
+                  "' re-registered with a different slot count");
+    return *entry.jobs;
 }
 
 double
@@ -187,6 +209,24 @@ StatRegistry::sumMatching(const std::string& suffix) const
     return sum;
 }
 
+std::vector<std::uint64_t>
+StatRegistry::sumJobTables(const std::string& suffix) const
+{
+    std::vector<std::uint64_t> sums;
+    for (const auto& [name, entry] : entries_) {
+        if (!entry.jobs || name.size() < suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        if (sums.size() < entry.jobs->jobs())
+            sums.resize(entry.jobs->jobs(), 0);
+        for (unsigned j = 0; j < entry.jobs->jobs(); ++j)
+            sums[j] += entry.jobs->value(j);
+    }
+    return sums;
+}
+
 void
 StatRegistry::resetAll()
 {
@@ -199,6 +239,8 @@ StatRegistry::resetAll()
             entry.scalar->reset();
         if (entry.histogram)
             entry.histogram->reset();
+        if (entry.jobs)
+            entry.jobs->reset();
     }
 }
 
@@ -215,6 +257,11 @@ StatRegistry::dump(std::ostream& os) const
             os << "samples=" << entry.histogram->samples()
                << " mean=" << entry.histogram->mean()
                << " max=" << entry.histogram->max();
+        } else if (entry.jobs) {
+            os << "jobs=[";
+            for (unsigned j = 0; j < entry.jobs->jobs(); ++j)
+                os << (j ? " " : "") << entry.jobs->value(j);
+            os << "]";
         }
         os << " # " << entry.desc << "\n";
     }
@@ -228,6 +275,10 @@ StatRegistry::dumpCsv(std::ostream& os) const
             os << name << "," << count << "\n";
         else if (entry.scalar)
             os << name << "," << entry.scalar->value() << "\n";
+        else if (entry.jobs)
+            for (unsigned j = 0; j < entry.jobs->jobs(); ++j)
+                os << name << "[" << j << "]," << entry.jobs->value(j)
+                   << "\n";
     }
 }
 
@@ -257,6 +308,11 @@ StatRegistry::dumpJson(std::ostream& os, int indent) const
             for (std::size_t i = 0; i < h.numBuckets(); ++i)
                 os << (i ? ", " : "") << h.bucket(i);
             os << "]}";
+        } else if (entry.jobs) {
+            os << "[";
+            for (unsigned j = 0; j < entry.jobs->jobs(); ++j)
+                os << (j ? ", " : "") << entry.jobs->value(j);
+            os << "]";
         } else {
             os << "null";
         }

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/types.hh"
+
 namespace famsim {
 
 namespace json {
@@ -88,6 +90,51 @@ class SharedCounter
     std::atomic<std::uint64_t> value_{0};
 };
 
+/**
+ * A per-job (tenant) counter table: one slot per JobId, sized at
+ * registration. The multi-tenant sibling of SharedCounter — slots are
+ * relaxed atomics because job-tagged requests from several parallel
+ * partitions (every FAM media module, every node's STU) bump the same
+ * table. Each slot is a sum of its own increments, and sums are
+ * order-independent, so the table stays byte-deterministic across
+ * thread counts exactly as SharedCounter does; see DESIGN.md
+ * "Multi-tenant job model".
+ */
+class JobStatTable
+{
+  public:
+    explicit JobStatTable(unsigned jobs) : slots_(jobs) {}
+
+    void
+    add(JobId job, std::uint64_t delta = 1)
+    {
+        slots_[job].fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t
+    value(JobId job) const
+    {
+        return slots_[job].load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] unsigned
+    jobs() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+    /** Only valid while writers are quiescent (warmup barrier/teardown). */
+    void
+    reset()
+    {
+        for (auto& slot : slots_)
+            slot.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<std::atomic<std::uint64_t>> slots_;
+};
+
 /** A floating-point scalar statistic (set, not accumulated). */
 class Scalar
 {
@@ -145,6 +192,12 @@ class StatRegistry
     Histogram& histogram(const std::string& name, const std::string& desc,
                          std::uint64_t bucket_width = 1,
                          std::size_t buckets = 16);
+    /**
+     * Create (or fetch) a per-job counter table with @p jobs slots.
+     * Re-registering must use the same slot count.
+     */
+    JobStatTable& jobTable(const std::string& name, const std::string& desc,
+                           unsigned jobs);
 
     /** Value lookup by full name; counters and scalars only. */
     [[nodiscard]] double get(const std::string& name) const;
@@ -152,6 +205,13 @@ class StatRegistry
     [[nodiscard]] bool has(const std::string& name) const;
     /** Sum of all counters whose name ends with @p suffix. */
     [[nodiscard]] double sumMatching(const std::string& suffix) const;
+    /**
+     * Slot-wise sum of every per-job table whose name ends with
+     * @p suffix (e.g. ".job_acm_hits" totals the per-node STU tables).
+     * Empty when no table matches.
+     */
+    [[nodiscard]] std::vector<std::uint64_t>
+    sumJobTables(const std::string& suffix) const;
 
     /** Reset every statistic (used to discard warmup). */
     void resetAll();
@@ -177,6 +237,7 @@ class StatRegistry
         std::unique_ptr<SharedCounter> shared;
         std::unique_ptr<Scalar> scalar;
         std::unique_ptr<Histogram> histogram;
+        std::unique_ptr<JobStatTable> jobs;
 
         /** Integer value of the counter flavor held, if any. */
         [[nodiscard]] bool

@@ -48,6 +48,17 @@ using NodeId = std::uint16_t;
 /** Identifier of a core within a node. */
 using CoreId = std::uint16_t;
 
+/**
+ * Identifier of a tenant job. Every memory operation and packet is
+ * tagged with the job that generated it so FAM-side components can
+ * attribute their counters per tenant; single-tenant configurations
+ * use job 0 throughout.
+ */
+using JobId = std::uint16_t;
+
+/** Upper bound on concurrent tenant jobs (sizes per-job stat tables). */
+inline constexpr unsigned kMaxJobs = 64;
+
 /** Address spaces a memory address can live in. */
 enum class Space : std::uint8_t {
     Virt,      //!< Application virtual address (per-process).

@@ -37,6 +37,15 @@ Stu::Stu(Simulation& sim, const std::string& name, const StuParams& params,
       denials_(statCounter("denials", "accesses denied")),
       forwarded_(statCounter("forwarded", "requests forwarded to FAM"))
 {
+    if (params_.jobs > 1) {
+        jobAcmLookups_ = &statJobTable(
+            "job_acm_lookups", "ACM cache lookups per tenant job",
+            params_.jobs);
+        jobAcmHits_ = &statJobTable(
+            "job_acm_hits", "ACM cache hits per tenant job", params_.jobs);
+        jobDenials_ = &statJobTable(
+            "job_denials", "accesses denied per tenant job", params_.jobs);
+    }
     FAMSIM_ASSERT(params.entries % params.assoc == 0,
                   "STU entries must divide by associativity");
     std::size_t sets = params.entries / params.assoc;
@@ -90,9 +99,13 @@ Stu::handleIFam(const PktPtr& pkt)
         std::uint64_t npa_page = pkt->npa.pageNumber();
         ++tlbLookups_;
         ++acmLookups_; // ACM rides in the same entry (Fig. 8a)
+        if (jobAcmLookups_)
+            jobAcmLookups_->add(pkt->job);
         if (IFamEntry* entry = ifamCache_->lookup(npa_page)) {
             ++tlbHits_;
             ++acmHits_;
+            if (jobAcmHits_)
+                jobAcmHits_->add(pkt->job);
             pkt->fam = FamAddr(entry->famPage * kPageSize +
                                pkt->npa.pageOffset());
             pkt->hasFam = true;
@@ -175,8 +188,12 @@ Stu::checkAccess(const PktPtr& pkt)
 {
     std::uint64_t fam_page = pkt->fam.pageNumber();
     ++acmLookups_;
+    if (jobAcmLookups_)
+        jobAcmLookups_->add(pkt->job);
     if (acmLookup(fam_page)) {
         ++acmHits_;
+        if (jobAcmHits_)
+            jobAcmHits_->add(pkt->job);
         verifyAndForward(pkt);
         return;
     }
@@ -282,7 +299,8 @@ Stu::finishWalk(const PktPtr& pkt, std::uint64_t npa_page,
     broker_.handleUnmapped(pkt->node, npa_page,
                            [done = std::move(done)](std::uint64_t fam) {
                                done(fam);
-                           });
+                           },
+                           pkt->job);
 }
 
 // ---------------------------------------------------------------------
@@ -410,6 +428,7 @@ Stu::sendFamAccess(const PktPtr& origin, FamAddr addr, MemOp op,
 {
     PktPtr pkt = makePacket(origin->node, origin->core, op, kind);
     pkt->logicalNode = origin->logicalNode;
+    pkt->job = origin->job;
     pkt->fam = addr;
     pkt->hasFam = true;
     pkt->issued = sim_.curTick();
@@ -425,6 +444,8 @@ void
 Stu::deny(const PktPtr& pkt)
 {
     ++denials_;
+    if (jobDenials_)
+        jobDenials_->add(pkt->job);
     pkt->accessGranted = false;
     respondToNode(pkt);
 }

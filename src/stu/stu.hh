@@ -81,6 +81,11 @@ struct StuParams {
     Tick nodeLinkLatency = 50 * kNanosecond;
     /** Outstanding-request limit (I-FAM keeps the mapping list here). */
     unsigned maxOutstanding = 128;
+    /**
+     * Tenant jobs sharing the system (SystemConfig::tenancy.jobs).
+     * > 1 registers the per-job ACM contention tables.
+     */
+    unsigned jobs = 1;
 
     /** Contiguous pages whose ACM shares one DeACT-W way. */
     [[nodiscard]] unsigned
@@ -205,6 +210,11 @@ class Stu : public Component
     Counter& verifications_;
     Counter& denials_;
     Counter& forwarded_;
+    // Per-job attribution of the shared ACM-cache contention and the
+    // access-control outcomes; null when single-tenant.
+    JobStatTable* jobAcmLookups_ = nullptr;
+    JobStatTable* jobAcmHits_ = nullptr;
+    JobStatTable* jobDenials_ = nullptr;
 };
 
 } // namespace famsim

@@ -1,0 +1,120 @@
+#include "workload/multi_tenant.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+namespace {
+
+/** Stream-id space: per-(node, core) lane, one slot per job. */
+constexpr std::uint64_t kCoreLane = 64;
+constexpr std::uint64_t kJobStride = 4096;
+/** Selector/churn RNG stream offset (disjoint from StreamGen ids). */
+constexpr std::uint64_t kSelectorOffset = std::uint64_t{1} << 20;
+
+} // namespace
+
+MultiTenantWorkload::MultiTenantWorkload(const TenancyParams& tenancy,
+                                         const StreamProfile& profile,
+                                         std::uint64_t seed, unsigned node,
+                                         unsigned core)
+    : tenancy_(tenancy),
+      rng_(seed, node * kCoreLane + core + kSelectorOffset)
+{
+    FAMSIM_ASSERT(tenancy_.jobs >= 1 && tenancy_.jobs <= kMaxJobs,
+                  "tenant job count must be in [1, ", kMaxJobs, "]");
+    FAMSIM_ASSERT(tenancy_.zipfSkew >= 0.0, "negative Zipf skew");
+    jobs_.reserve(tenancy_.jobs);
+    weight_.reserve(tenancy_.jobs);
+    for (unsigned j = 0; j < tenancy_.jobs; ++j) {
+        JobState state;
+        // Each job owns a disjoint VA window and a distinct RNG stream,
+        // so tenants never share pages and their access sequences are
+        // independent of each other and of the job count.
+        state.gen = std::make_unique<StreamGen>(
+            profile, kWorkloadVaBase + j * tenancy_.jobVaStride, seed,
+            node * kCoreLane + core + j * kJobStride);
+        if (tenancy_.churnMeanOps > 0 && j > 0)
+            state.nextToggleAt = drawResidency();
+        jobs_.push_back(std::move(state));
+        weight_.push_back(
+            1.0 / std::pow(static_cast<double>(j + 1), tenancy_.zipfSkew));
+    }
+}
+
+std::uint64_t
+MultiTenantWorkload::drawResidency()
+{
+    // Exponential residency with mean churnMeanOps: memoryless phase
+    // lengths make arrivals/departures a Poisson-ish process while
+    // staying a pure function of the RNG stream (no simulated time).
+    double u = rng_.uniform(); // in [0, 1), so 1 - u never hits zero
+    double len =
+        -static_cast<double>(tenancy_.churnMeanOps) * std::log1p(-u);
+    if (len < 1.0)
+        return 1;
+    constexpr double kCap = 1e15; // keep the op counter far from wrap
+    return static_cast<std::uint64_t>(len < kCap ? len : kCap);
+}
+
+void
+MultiTenantWorkload::advanceChurn()
+{
+    // Job 0 never departs, so at least one tenant is always runnable.
+    for (std::size_t j = 1; j < jobs_.size(); ++j) {
+        JobState& job = jobs_[j];
+        while (ops_ >= job.nextToggleAt) {
+            job.active = !job.active;
+            job.nextToggleAt += drawResidency();
+        }
+    }
+}
+
+JobId
+MultiTenantWorkload::pickJob()
+{
+    double total = 0.0;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        if (jobs_[j].active)
+            total += weight_[j];
+    }
+    double u = rng_.uniform() * total;
+    JobId last = 0;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        if (!jobs_[j].active)
+            continue;
+        last = static_cast<JobId>(j);
+        u -= weight_[j];
+        if (u < 0.0)
+            return last;
+    }
+    return last; // float round-off: u exhausted past the final weight
+}
+
+MemOpDesc
+MultiTenantWorkload::next()
+{
+    ++ops_;
+    if (tenancy_.churnMeanOps > 0)
+        advanceChurn();
+    JobId job = pickJob();
+    MemOpDesc op = jobs_[job].gen->next();
+    op.job = job;
+    return op;
+}
+
+std::vector<std::uint64_t>
+MultiTenantWorkload::footprintPages() const
+{
+    // Per-job VA windows are disjoint, so the union is a plain concat.
+    std::vector<std::uint64_t> pages;
+    for (const JobState& job : jobs_) {
+        std::vector<std::uint64_t> mine = job.gen->footprintPages();
+        pages.insert(pages.end(), mine.begin(), mine.end());
+    }
+    return pages;
+}
+
+} // namespace famsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multi-tenant workload scheduling.
+ *
+ * The paper evaluates one uniform stream per core; a production FAM
+ * pool serves many competing jobs. MultiTenantWorkload interleaves
+ * several job streams on each core the way a timesharing scheduler
+ * would: every job owns a private address space (a disjoint VA window
+ * holding its own StreamGen), job popularity is Zipfian (job 0 is the
+ * hottest tenant, so its pages dominate the shared translation and
+ * media structures), and jobs arrive and depart in Poisson-ish churn
+ * (exponentially distributed active/inactive residencies).
+ *
+ * Everything is a deterministic function of the number of ops the core
+ * has consumed — never of simulated time — so a multi-tenant run is
+ * reproducible and byte-identical between the serial kernel and any
+ * parallel thread count (see DESIGN.md "Multi-tenant job model").
+ */
+
+#ifndef FAMSIM_WORKLOAD_MULTI_TENANT_HH
+#define FAMSIM_WORKLOAD_MULTI_TENANT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "workload/stream_gen.hh"
+
+namespace famsim {
+
+/** Multi-tenant workload knobs (SystemConfig::tenancy). */
+struct TenancyParams {
+    /** Concurrent tenant jobs per core stream (1 = single-tenant). */
+    unsigned jobs = 1;
+    /**
+     * Zipfian popularity skew: job j is selected with weight
+     * 1 / (j + 1)^zipfSkew. 0 = uniform sharing; ~1 concentrates most
+     * traffic on the hottest tenant.
+     */
+    double zipfSkew = 0.0;
+    /**
+     * Mean tenant residency in consumed ops: every job except job 0
+     * alternates active (arrived) and inactive (departed) phases with
+     * exponentially distributed lengths of this mean — a deterministic
+     * Poisson-ish churn process. 0 disables churn (all jobs stay
+     * active).
+     */
+    std::uint64_t churnMeanOps = 0;
+    /** VA distance between consecutive jobs' private heaps. */
+    std::uint64_t jobVaStride = std::uint64_t{1} << 40;
+};
+
+/**
+ * Interleaves one StreamGen per tenant job on a single core, tagging
+ * every op with its JobId.
+ */
+class MultiTenantWorkload : public WorkloadGen
+{
+  public:
+    /**
+     * @param tenancy  job count, skew and churn knobs.
+     * @param profile  per-job stream profile (shared by all jobs).
+     * @param seed     RNG seed (combined with per-core stream ids).
+     * @param node     owning node index (stream id derivation).
+     * @param core     owning core index (stream id derivation).
+     */
+    MultiTenantWorkload(const TenancyParams& tenancy,
+                        const StreamProfile& profile, std::uint64_t seed,
+                        unsigned node, unsigned core);
+
+    MemOpDesc next() override;
+    [[nodiscard]] std::vector<std::uint64_t>
+    footprintPages() const override;
+
+  private:
+    /** Toggle any job whose residency expired at the current op. */
+    void advanceChurn();
+    /** Zipf-weighted selection among the currently active jobs. */
+    [[nodiscard]] JobId pickJob();
+    /** Draw an exponential residency length (mean churnMeanOps). */
+    [[nodiscard]] std::uint64_t drawResidency();
+
+    struct JobState {
+        std::unique_ptr<StreamGen> gen;
+        bool active = true;
+        /** Op count at which the job arrives/departs next. */
+        std::uint64_t nextToggleAt = kTickForever;
+    };
+
+    TenancyParams tenancy_;
+    Rng rng_; //!< job-selection and churn draws (own stream)
+    std::vector<JobState> jobs_;
+    /** Zipf weight of each job (renormalized over active jobs on pick). */
+    std::vector<double> weight_;
+    std::uint64_t ops_ = 0;
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_WORKLOAD_MULTI_TENANT_HH

@@ -48,6 +48,8 @@ struct MemOpDesc {
     unsigned gap = 0;
     /** True if the consuming core must block until completion. */
     bool blocking = false;
+    /** Tenant job that issued this op (0 when single-tenant). */
+    JobId job = 0;
 };
 
 /** Abstract address-stream source. */

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "fabric/fabric_link.hh"
 #include "fam/acm.hh"
@@ -356,6 +357,111 @@ TEST_F(BrokerTest, MigrationWithAcmRewriteToUnregisteredNode)
     // The target got a fresh logical id and now owns the pages.
     EXPECT_EQ(acm_.pagesOwnedBy(broker_.logicalIdOf(9)).size(), 3u);
     EXPECT_TRUE(acm_.pagesOwnedBy(logical0).empty());
+}
+
+TEST_F(BrokerTest, RepeatedMigrationsBounceAndSettle)
+{
+    // The migration-storm pattern: a logical bounce there and back,
+    // then a physical-id move. Ownership, logical ids and the
+    // system-level table must stay coherent through the whole chain.
+    NodeId logical0 = broker_.logicalIdOf(0);
+    for (int i = 0; i < 5; ++i) {
+        std::uint64_t page = broker_.allocPage(logical0, Perms{});
+        broker_.famTableOf(0).map(0x2000 + static_cast<unsigned>(i),
+                                  page, Perms{});
+    }
+
+    auto bounce_out = broker_.migrateJob(0, 1, /*use_logical_ids=*/true);
+    EXPECT_EQ(bounce_out.pagesMoved, 5u);
+    EXPECT_EQ(broker_.logicalIdOf(1), logical0);
+    EXPECT_TRUE(broker_.famTableOf(1).lookup(0x2000).has_value());
+
+    auto bounce_back = broker_.migrateJob(1, 0, /*use_logical_ids=*/true);
+    EXPECT_EQ(bounce_back.pagesMoved, 5u);
+    EXPECT_EQ(bounce_back.acmWrites, 0u);
+    // The job's logical id came home; the ACM never moved.
+    EXPECT_EQ(broker_.logicalIdOf(0), logical0);
+    EXPECT_EQ(acm_.pagesOwnedBy(logical0).size(), 5u);
+    EXPECT_TRUE(broker_.famTableOf(0).lookup(0x2004).has_value());
+    EXPECT_EQ(broker_.famTableOf(1).mappings(), 0u);
+
+    auto physical = broker_.migrateJob(0, 1, /*use_logical_ids=*/false);
+    EXPECT_EQ(physical.pagesMoved, 5u);
+    EXPECT_EQ(physical.acmWrites, 5u);
+    // Now the ACM entries really were rewritten to node 1's id.
+    EXPECT_TRUE(acm_.pagesOwnedBy(logical0).empty());
+    EXPECT_EQ(acm_.pagesOwnedBy(broker_.logicalIdOf(1)).size(), 5u);
+    EXPECT_TRUE(broker_.famTableOf(1).lookup(0x2000).has_value());
+}
+
+TEST(BrokerMedia, MigrationEmitsAcmTrafficAmidInFlightRequests)
+{
+    // A physical migration while data requests are in flight at the
+    // media: the ACM rewrite traffic lands on top of the outstanding
+    // accesses and everything completes.
+    Simulation sim;
+    FamLayout layout(16ull << 30, 16, 2ull << 30);
+    AcmStore acm(16);
+    FamMediaParams media_params;
+    media_params.capacityBytes = 16ull << 30;
+    FamMedia media(sim, "fam", media_params);
+    MemoryBroker broker(sim, "broker", BrokerParams{}, layout, acm,
+                        &media);
+    broker.registerNode(0);
+    broker.registerNode(1);
+
+    NodeId logical0 = broker.logicalIdOf(0);
+    std::vector<std::uint64_t> pages;
+    for (int i = 0; i < 4; ++i)
+        pages.push_back(broker.allocPage(logical0, Perms{}));
+
+    int completed = 0;
+    for (std::uint64_t page : pages) {
+        auto pkt = makePacket(0, 0, MemOp::Read, PacketKind::Data);
+        pkt->fam = FamAddr(page * kPageSize);
+        pkt->hasFam = true;
+        pkt->onDone = [&](Packet&) { ++completed; };
+        media.access(pkt);
+    }
+
+    MemoryBroker::MigrationReport report;
+    sim.events().schedule(1 * kNanosecond, [&] {
+        report = broker.migrateJob(0, 1, /*use_logical_ids=*/false);
+    });
+    sim.run();
+
+    EXPECT_EQ(completed, 4);
+    EXPECT_EQ(report.acmWrites, 4u);
+    // The media served the in-flight data plus one bookkeeping write
+    // per rewritten ACM entry.
+    EXPECT_EQ(media.totalRequests(), 4u + report.acmWrites);
+    EXPECT_EQ(acm.pagesOwnedBy(broker.logicalIdOf(1)).size(), 4u);
+}
+
+TEST(BrokerJobs, UnmappedFaultsAttributePerJob)
+{
+    Simulation sim;
+    FamLayout layout(16ull << 30, 16, 2ull << 30);
+    AcmStore acm(16);
+    BrokerParams params;
+    params.jobs = 4;
+    MemoryBroker broker(sim, "broker", params, layout, acm, nullptr);
+    broker.registerNode(0);
+
+    int done = 0;
+    broker.handleUnmapped(0, 0x10, [&](std::uint64_t) { ++done; }, 2);
+    broker.handleUnmapped(0, 0x11, [&](std::uint64_t) { ++done; }, 2);
+    broker.handleUnmapped(0, 0x12, [&](std::uint64_t) { ++done; }, 0);
+    sim.run();
+
+    EXPECT_EQ(done, 3);
+    auto faults = sim.stats().sumJobTables(".job_faults");
+    ASSERT_EQ(faults.size(), 4u);
+    EXPECT_EQ(faults[0], 1u);
+    EXPECT_EQ(faults[1], 0u);
+    EXPECT_EQ(faults[2], 2u);
+    EXPECT_EQ(faults[3], 0u);
+    EXPECT_DOUBLE_EQ(sim.stats().get("broker.faults"), 3.0);
 }
 
 // ---------------------------------------------------------------- fabric

@@ -173,7 +173,7 @@ TEST_F(CoreTest, PhaseCallbackFiresOnce)
     params.instructionLimit = 1000;
     build({MemOpDesc{0x1000, false, 4, false}}, params);
     int fired = 0;
-    core_->setPhaseCallback(500, [&] { ++fired; });
+    core_->addPhaseCallback(500, [&] { ++fired; });
     core_->start([] {});
     sim_.run();
     EXPECT_EQ(fired, 1);
@@ -184,7 +184,7 @@ TEST_F(CoreTest, MarkWindowRestartsIpcAccounting)
     CoreParams params;
     params.instructionLimit = 1000;
     build({MemOpDesc{0x1000, false, 4, false}}, params);
-    core_->setPhaseCallback(500, [this] { core_->markWindow(); });
+    core_->addPhaseCallback(500, [this] { core_->markWindow(); });
     core_->start([] {});
     sim_.run();
     // IPC accounted over roughly the second half only.

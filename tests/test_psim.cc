@@ -123,6 +123,41 @@ TEST(ParallelDeterminismExtra, RuntimeBrokerFaultsAreDeterministic)
 }
 
 /**
+ * The worst-case multi-tenant mix on the parallel kernel: runtime
+ * faults (prefault off), tenant churn and broker migrations — logical
+ * and physical — while every core keeps issuing. The migrations take
+ * the barrier-op path (System posts them at the broker edge lookahead
+ * and the ACM rewrite traffic is scheduled onto the owning media
+ * partitions), so the whole mix must stay thread-count invariant.
+ */
+TEST(ParallelDeterminismExtra, MigrationUnderLoadIsDeterministic)
+{
+    SystemConfig config =
+        makeConfig(profiles::byName("mcf"), ArchKind::DeactN, 8000);
+    config.nodes = 2;
+    config.seed = 7;
+    config.prefault = false;
+    config.tenancy.jobs = 3;
+    config.tenancy.zipfSkew = 0.6;
+    config.tenancy.churnMeanOps = 1500;
+    config.migrations.push_back({3000, 0, 1, /*useLogicalIds=*/true});
+    config.migrations.push_back({5000, 1, 0, /*useLogicalIds=*/false});
+
+    auto stats_json = [&](unsigned threads) {
+        System system(config);
+        system.run(threads);
+        EXPECT_DOUBLE_EQ(system.sim().stats().get("broker.migrations"),
+                         2.0);
+        EXPECT_GT(system.sim().stats().get("broker.faults"), 0.0)
+            << "config did not exercise the runtime fault path";
+        return system.sim().stats().jsonString();
+    };
+    const std::string one = stats_json(1);
+    EXPECT_EQ(one, stats_json(2));
+    EXPECT_EQ(one, stats_json(wideThreads()));
+}
+
+/**
  * Trace replay on the parallel kernel: a recorded scenario must replay
  * byte-identically at any worker count, and identically to the
  * synthetic run it was recorded from. (The registered *.selfreplay

@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "harness/scenario.hh"
 #include "harness/sweep.hh"
@@ -117,7 +119,32 @@ TEST(ScenarioRegistry, PaperCoversHeadlineFigures)
     EXPECT_GE(reg.byFigure("fig09_acm_hit_rate").size(), 3u);
     EXPECT_GE(reg.byFigure("fig10_at_hit_rate").size(), 2u);
     EXPECT_GE(reg.byFigure("fig12_performance").size(), 4u);
+    EXPECT_EQ(reg.byFigure("multitenant").size(), 3u);
     EXPECT_GE(reg.size(), 9u);
+}
+
+TEST(ScenarioRegistry, MultiTenantFamilyShapesAreDistinct)
+{
+    const ScenarioRegistry& reg = ScenarioRegistry::paper();
+    const Scenario& contention =
+        reg.byName("multitenant.contention.deactn");
+    EXPECT_GT(contention.config.tenancy.jobs, 1u);
+    EXPECT_EQ(contention.config.tenancy.churnMeanOps, 0u);
+    EXPECT_TRUE(contention.config.migrations.empty());
+
+    const Scenario& churn = reg.byName("multitenant.churn.deactn");
+    EXPECT_GT(churn.config.tenancy.churnMeanOps, 0u);
+
+    const Scenario& storm =
+        reg.byName("multitenant.migration_storm.deactn");
+    ASSERT_EQ(storm.config.migrations.size(), 3u);
+    // Logical bounce plus one physical-id move, all inside the budget.
+    EXPECT_TRUE(storm.config.migrations[0].useLogicalIds);
+    EXPECT_FALSE(storm.config.migrations[2].useLogicalIds);
+    for (const MigrationEvent& ev : storm.config.migrations) {
+        EXPECT_LT(ev.atInstruction,
+                  storm.config.core.instructionLimit);
+    }
 }
 
 TEST(ScenarioRegistry, LookupAndNamesAgree)
@@ -235,6 +262,90 @@ TEST(SweepJson, SameSeedSameBytes)
         EXPECT_NE(first.find("\"" + sweep.name + "." + p.label + "\""),
                   std::string::npos)
             << p.label;
+    }
+}
+
+// ---------------------------------------------------------- curve gate
+
+/**
+ * Relative tolerance of the fig16 curve gate. The byte-exact goldens
+ * above catch *any* behaviour change; this gate instead bounds how far
+ * a deliberate change may move the node-scaling curve before someone
+ * must re-baseline it consciously. FAMSIM_CURVE_TOLERANCE overrides
+ * the default (e.g. a CI job that tolerates more drift).
+ */
+double
+curveTolerance()
+{
+    constexpr double kDefault = 0.05;
+    if (const char* env = std::getenv("FAMSIM_CURVE_TOLERANCE")) {
+        char* end = nullptr;
+        double v = std::strtod(env, &end);
+        if (end != nullptr && *end == '\0' && v > 0.0)
+            return v;
+    }
+    return kDefault;
+}
+
+/**
+ * The fig16 node-scaling curve must stay within a per-point relative
+ * tolerance of its committed baseline (tests/golden/
+ * fig16_num_nodes.curve.json). Regenerate with FAMSIM_UPDATE_GOLDEN=1
+ * like the byte-exact goldens. Points n1-n16 cover the paper's range
+ * plus the first scaling-extension point; n32/n64 are excluded to keep
+ * the gate cheap on every ctest run.
+ */
+TEST(CurveGate, Fig16NodeScalingStaysOnBaseline)
+{
+    const std::vector<std::string> labels = {"n1", "n2", "n4", "n8",
+                                             "n16"};
+    const ScenarioRegistry& points = SweepRegistry::paperPoints();
+    std::vector<double> actual;
+    {
+        ScopedQuietLogs quiet;
+        for (const std::string& label : labels) {
+            const Scenario& point =
+                points.byName("fig16_num_nodes." + label);
+            System system(point.config);
+            system.run();
+            actual.push_back(system.ipc());
+        }
+    }
+
+    const std::string path = goldenPath("fig16_num_nodes.curve");
+    if (updateRequested()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write baseline " << path;
+        out << "{\n  \"sweep\": \"fig16_num_nodes\",\n"
+               "  \"metric\": \"ipc\",\n  \"points\": {";
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            out << (i ? "," : "") << "\n    \"" << labels[i] << "\": ";
+            json::writeNumber(out, actual[i]);
+        }
+        out << "\n  }\n}\n";
+        GTEST_SKIP() << "curve baseline updated: " << path;
+    }
+
+    const std::string baseline = readFile(path);
+    ASSERT_FALSE(baseline.empty())
+        << "missing curve baseline " << path
+        << " (regenerate with FAMSIM_UPDATE_GOLDEN=1)";
+    const double tolerance = curveTolerance();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const std::string key = "\"" + labels[i] + "\": ";
+        const std::size_t at = baseline.find(key);
+        ASSERT_NE(at, std::string::npos)
+            << "baseline lacks point " << labels[i];
+        const double expected =
+            std::strtod(baseline.c_str() + at + key.size(), nullptr);
+        ASSERT_GT(expected, 0.0) << "degenerate baseline ipc";
+        const double rel = std::abs(actual[i] - expected) / expected;
+        EXPECT_LE(rel, tolerance)
+            << "fig16_num_nodes." << labels[i] << " ipc " << actual[i]
+            << " drifted " << 100.0 * rel << "% from baseline "
+            << expected << " (tolerance " << 100.0 * tolerance
+            << "%); re-baseline with FAMSIM_UPDATE_GOLDEN=1 if "
+               "intentional";
     }
 }
 

@@ -11,6 +11,7 @@
 #include <set>
 
 #include "sim/logging.hh"
+#include "workload/multi_tenant.hh"
 #include "workload/stream_gen.hh"
 
 namespace famsim {
@@ -255,6 +256,92 @@ TEST(StreamGen, GoldenStreamHashesPinTheExactOpSequence)
               0x4a0b9cd92d1e5028ULL);
     EXPECT_EQ(streamHash(profiles::uniformTest(8ull << 20), 100000),
               0x941095ac6e37f5b6ULL);
+}
+
+// ------------------------------------------------------- multi-tenant
+
+TEST(MultiTenant, SingleJobDegeneratesToPlainStream)
+{
+    // jobs=1 must reproduce the single-tenant StreamGen op for op
+    // (same VA base, same stream id), so multi-tenant plumbing can be
+    // always-on without moving any single-tenant golden.
+    StreamProfile p = profiles::byName("mcf");
+    TenancyParams tenancy; // jobs = 1
+    MultiTenantWorkload mt(tenancy, p, 7, /*node=*/0, /*core=*/2);
+    StreamGen plain(p, kWorkloadVaBase, 7, 2);
+    for (int i = 0; i < 2000; ++i) {
+        MemOpDesc a = mt.next(), b = plain.next();
+        EXPECT_EQ(a.vaddr, b.vaddr);
+        EXPECT_EQ(a.write, b.write);
+        EXPECT_EQ(a.gap, b.gap);
+        EXPECT_EQ(a.job, 0);
+    }
+}
+
+TEST(MultiTenant, JobsOwnDisjointAddressSpacesAndTagOps)
+{
+    StreamProfile p = profiles::uniformTest(4ull << 20);
+    TenancyParams tenancy;
+    tenancy.jobs = 4;
+    MultiTenantWorkload mt(tenancy, p, 7, 0, 0);
+    std::set<JobId> seen;
+    for (int i = 0; i < 20000; ++i) {
+        MemOpDesc op = mt.next();
+        ASSERT_LT(op.job, tenancy.jobs);
+        seen.insert(op.job);
+        // The op's VA must fall inside its job's private window.
+        std::uint64_t base =
+            kWorkloadVaBase + op.job * tenancy.jobVaStride;
+        EXPECT_GE(op.vaddr, base);
+        EXPECT_LT(op.vaddr, base + tenancy.jobVaStride);
+    }
+    EXPECT_EQ(seen.size(), 4u); // every tenant got scheduled
+    // Footprints are disjoint, so the union is the per-job sum.
+    auto pages = mt.footprintPages();
+    std::set<std::uint64_t> unique(pages.begin(), pages.end());
+    EXPECT_EQ(unique.size(), pages.size());
+    EXPECT_EQ(pages.size(),
+              tenancy.jobs * (p.footprintBytes / kPageSize));
+}
+
+TEST(MultiTenant, ZipfSkewFavorsJobZero)
+{
+    StreamProfile p = profiles::uniformTest(4ull << 20);
+    TenancyParams tenancy;
+    tenancy.jobs = 4;
+    tenancy.zipfSkew = 1.0;
+    MultiTenantWorkload mt(tenancy, p, 7, 0, 0);
+    std::map<JobId, int> counts;
+    for (int i = 0; i < 40000; ++i)
+        ++counts[mt.next().job];
+    // Weights 1, 1/2, 1/3, 1/4: job 0 must dominate and ordering hold.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[2]);
+    EXPECT_GT(counts[2], counts[3]);
+}
+
+TEST(MultiTenant, ChurnTogglesTenantsButNeverJobZero)
+{
+    StreamProfile p = profiles::uniformTest(4ull << 20);
+    TenancyParams tenancy;
+    tenancy.jobs = 3;
+    tenancy.churnMeanOps = 500;
+    MultiTenantWorkload a(tenancy, p, 7, 0, 0);
+    MultiTenantWorkload b(tenancy, p, 7, 0, 0);
+    std::map<JobId, int> counts;
+    for (int i = 0; i < 50000; ++i) {
+        MemOpDesc oa = a.next(), ob = b.next();
+        // Churn is a pure function of ops consumed: two instances
+        // replay the identical schedule.
+        EXPECT_EQ(oa.vaddr, ob.vaddr);
+        EXPECT_EQ(oa.job, ob.job);
+        ++counts[oa.job];
+    }
+    // Every tenant ran some of the time; job 0 (never departing)
+    // kept the core busy during others' absences.
+    EXPECT_EQ(counts.size(), 3u);
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[0], counts[2]);
 }
 
 } // namespace
