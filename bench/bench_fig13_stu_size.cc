@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "harness/executor.hh"
 #include "harness/figure_report.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
@@ -17,21 +18,36 @@ using namespace famsim;
 
 namespace {
 
+/**
+ * One (I-FAM, DeACT-N) config pair per profile, in group order; the
+ * flat list feeds one SweepExecutor fan-out so every point of the
+ * figure runs concurrently under --sweep-jobs.
+ */
+void
+appendGroupPair(std::vector<SystemConfig>& configs,
+                const std::vector<famsim::StreamProfile>& group,
+                std::size_t stu_entries, std::size_t assoc,
+                std::uint64_t instr)
+{
+    for (const auto& profile : group) {
+        for (ArchKind arch : {ArchKind::IFam, ArchKind::DeactN}) {
+            SystemConfig config = makeConfig(profile, arch, instr);
+            config.stu.entries = stu_entries;
+            config.stu.assoc = assoc;
+            configs.push_back(std::move(config));
+        }
+    }
+}
+
+/** Consume one group's (I-FAM, DeACT-N) result pairs -> geomean speedup. */
 double
-groupSpeedup(const std::vector<famsim::StreamProfile>& group,
-             std::size_t stu_entries, std::size_t assoc,
-             std::uint64_t instr)
+groupSpeedup(const std::vector<RunResult>& results, std::size_t& cursor,
+             std::size_t group_size)
 {
     std::vector<double> speedups;
-    for (const auto& profile : group) {
-        SystemConfig ifam = makeConfig(profile, ArchKind::IFam, instr);
-        ifam.stu.entries = stu_entries;
-        ifam.stu.assoc = assoc;
-        SystemConfig deact = makeConfig(profile, ArchKind::DeactN, instr);
-        deact.stu.entries = stu_entries;
-        deact.stu.assoc = assoc;
-        double i = runOne(ifam).ipc;
-        double d = runOne(deact).ipc;
+    for (std::size_t p = 0; p < group_size; ++p) {
+        double i = results[cursor++].ipc;
+        double d = results[cursor++].ipc;
         speedups.push_back(i > 0 ? d / i : 0.0);
     }
     return geomean(speedups);
@@ -58,17 +74,6 @@ main(int argc, char** argv)
     // the golden-pinned fig13_stu_entries sweep cover the same points.
     const Sweep& axis_source =
         SweepRegistry::paper().byName("fig13_stu_entries");
-    for (const auto& point : axis_source.axis.points) {
-        auto entries = static_cast<std::size_t>(point.value);
-        std::cerr << "fig13: STU " << entries << " entries...\n";
-        std::vector<double> row;
-        for (const auto& [name, group] : groups)
-            row.push_back(groupSpeedup(group, entries, 8,
-                                       options.instructions));
-        report.addRow(std::to_string(entries), row);
-    }
-    report.addNote("paper: speedup shrinks as the STU grows; PARSEC "
-                   "3.45x at 256 -> 1.75x at 4096");
 
     // The companion associativity study is emitted in table mode and
     // (as a sibling fig13_stu_assoc.json) in JSON+--out mode; only
@@ -78,13 +83,48 @@ main(int argc, char** argv)
         "fig13_stu_assoc",
         "SV-D1: DeACT-N speedup wrt I-FAM vs STU associativity",
         "assoc", group_names);
-    if (!options.json || !options.outPath.empty()) {
-        for (std::size_t assoc : {4u, 8u, 32u}) {
-            std::cerr << "fig13: assoc " << assoc << "...\n";
+    const bool with_assoc = !options.json || !options.outPath.empty();
+
+    // Flatten both studies into one config list, fan it out once, then
+    // reassemble rows from the slot-ordered results.
+    std::vector<SystemConfig> configs;
+    for (const auto& point : axis_source.axis.points) {
+        auto entries = static_cast<std::size_t>(point.value);
+        for (const auto& [name, group] : groups)
+            appendGroupPair(configs, group, entries, 8,
+                            options.instructions);
+    }
+    const std::vector<std::size_t> assocs = {4, 8, 32};
+    if (with_assoc) {
+        for (std::size_t assoc : assocs) {
+            for (const auto& [name, group] : groups)
+                appendGroupPair(configs, group, 1024, assoc,
+                                options.instructions);
+        }
+    }
+    std::cerr << "fig13: " << configs.size() << " runs across "
+              << options.sweepJobs << " sweep jobs...\n";
+    SweepExecutor executor(options.sweepJobs);
+    const std::vector<RunResult> results =
+        executor.runResults(configs, 0);
+
+    std::size_t cursor = 0;
+    for (const auto& point : axis_source.axis.points) {
+        auto entries = static_cast<std::size_t>(point.value);
+        std::vector<double> row;
+        for (const auto& [name, group] : groups)
+            row.push_back(groupSpeedup(results, cursor, group.size()));
+        report.addRow(std::to_string(entries), row);
+    }
+    report.addNote("paper: speedup shrinks as the STU grows; PARSEC "
+                   "3.45x at 256 -> 1.75x at 4096");
+
+    if (with_assoc) {
+        for (std::size_t assoc : assocs) {
             std::vector<double> row;
             for (const auto& [name, group] : groups)
-                row.push_back(groupSpeedup(group, 1024, assoc,
-                                           options.instructions));
+                row.push_back(
+                    groupSpeedup(results, cursor, group.size()));
             assoc_report.addRow(std::to_string(assoc), row);
         }
         assoc_report.addNote("paper: improvement decreases and "

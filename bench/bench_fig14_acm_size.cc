@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "harness/executor.hh"
 #include "harness/figure_report.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
@@ -17,20 +18,37 @@ using namespace famsim;
 
 namespace {
 
-double
-groupSpeedup(const std::vector<famsim::StreamProfile>& group,
-             ArchKind arch, unsigned acm_bits, unsigned pairs,
-             std::uint64_t instr)
+/**
+ * One (I-FAM, test-arch) config pair per profile, in group order; the
+ * flat list feeds one SweepExecutor fan-out so the whole figure runs
+ * concurrently under --sweep-jobs.
+ */
+void
+appendGroupPair(std::vector<SystemConfig>& configs,
+                const std::vector<famsim::StreamProfile>& group,
+                ArchKind arch, unsigned acm_bits, unsigned pairs,
+                std::uint64_t instr)
 {
-    std::vector<double> speedups;
     for (const auto& profile : group) {
         SystemConfig ifam = makeConfig(profile, ArchKind::IFam, instr);
         ifam.stu.acmBits = acm_bits;
         SystemConfig test = makeConfig(profile, arch, instr);
         test.stu.acmBits = acm_bits;
         test.stu.pairsPerWay = pairs;
-        double i = runOne(ifam).ipc;
-        double d = runOne(test).ipc;
+        configs.push_back(std::move(ifam));
+        configs.push_back(std::move(test));
+    }
+}
+
+/** Consume one group's (I-FAM, test) result pairs -> geomean speedup. */
+double
+groupSpeedup(const std::vector<RunResult>& results, std::size_t& cursor,
+             std::size_t group_size)
+{
+    std::vector<double> speedups;
+    for (std::size_t p = 0; p < group_size; ++p) {
+        double i = results[cursor++].ipc;
+        double d = results[cursor++].ipc;
         speedups.push_back(i > 0 ? d / i : 0.0);
     }
     return geomean(speedups);
@@ -56,24 +74,6 @@ main(int argc, char** argv)
     // the golden-pinned fig14_acm_size sweep cover the same widths.
     const Sweep& axis_source =
         SweepRegistry::paper().byName("fig14_acm_size");
-    for (const auto& point : axis_source.axis.points) {
-        auto bits = static_cast<unsigned>(point.value);
-        for (ArchKind arch : {ArchKind::DeactW, ArchKind::DeactN}) {
-            std::cerr << "fig14: " << toString(arch) << " " << bits
-                      << "-bit ACM...\n";
-            std::vector<double> row;
-            for (const auto& [name, group] : groups) {
-                row.push_back(groupSpeedup(group, arch, bits,
-                                           /*pairs=*/2,
-                                           options.instructions));
-            }
-            report.addRow(std::string(toString(arch)) + "/" +
-                              std::to_string(bits) + "b",
-                          row);
-        }
-    }
-    report.addNote("paper: DeACT-W nearly flat across widths — random "
-                   "allocation defeats contiguous ACM caching");
 
     // The companion pairs study is emitted in table mode and (as a
     // sibling fig14_acm_pairs.json) in JSON+--out mode; only plain
@@ -83,16 +83,56 @@ main(int argc, char** argv)
         "fig14_acm_pairs",
         "SV-D2: DeACT-N speedup wrt I-FAM vs (tag,ACM) pairs per way",
         "pairs", group_names);
-    if (!options.json || !options.outPath.empty()) {
-        for (unsigned pairs : {1u, 2u, 3u}) {
-            std::cerr << "fig14: pairs " << pairs << "...\n";
+    const bool with_pairs = !options.json || !options.outPath.empty();
+
+    // Flatten both studies into one config list, fan it out once, then
+    // reassemble rows from the slot-ordered results.
+    std::vector<SystemConfig> configs;
+    for (const auto& point : axis_source.axis.points) {
+        auto bits = static_cast<unsigned>(point.value);
+        for (ArchKind arch : {ArchKind::DeactW, ArchKind::DeactN}) {
+            for (const auto& [name, group] : groups)
+                appendGroupPair(configs, group, arch, bits, /*pairs=*/2,
+                                options.instructions);
+        }
+    }
+    const std::vector<unsigned> pair_counts = {1, 2, 3};
+    if (with_pairs) {
+        for (unsigned pairs : pair_counts) {
+            for (const auto& [name, group] : groups)
+                appendGroupPair(configs, group, ArchKind::DeactN,
+                                /*bits=*/pairs == 2 ? 16u : 8u, pairs,
+                                options.instructions);
+        }
+    }
+    std::cerr << "fig14: " << configs.size() << " runs across "
+              << options.sweepJobs << " sweep jobs...\n";
+    SweepExecutor executor(options.sweepJobs);
+    const std::vector<RunResult> results =
+        executor.runResults(configs, 0);
+
+    std::size_t cursor = 0;
+    for (const auto& point : axis_source.axis.points) {
+        auto bits = static_cast<unsigned>(point.value);
+        for (ArchKind arch : {ArchKind::DeactW, ArchKind::DeactN}) {
             std::vector<double> row;
-            for (const auto& [name, group] : groups) {
+            for (const auto& [name, group] : groups)
                 row.push_back(
-                    groupSpeedup(group, ArchKind::DeactN,
-                                 /*bits=*/pairs == 2 ? 16u : 8u,
-                                 pairs, options.instructions));
-            }
+                    groupSpeedup(results, cursor, group.size()));
+            report.addRow(std::string(toString(arch)) + "/" +
+                              std::to_string(bits) + "b",
+                          row);
+        }
+    }
+    report.addNote("paper: DeACT-W nearly flat across widths — random "
+                   "allocation defeats contiguous ACM caching");
+
+    if (with_pairs) {
+        for (unsigned pairs : pair_counts) {
+            std::vector<double> row;
+            for (const auto& [name, group] : groups)
+                row.push_back(
+                    groupSpeedup(results, cursor, group.size()));
             pairs_report.addRow(std::to_string(pairs), row);
         }
         pairs_report.addNote("paper: more pairs per way -> more ACM "

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "harness/executor.hh"
 #include "harness/figure_report.hh"
 #include "harness/runner.hh"
 
@@ -34,15 +35,12 @@ main(int argc, char** argv)
         {"6us", 6 * kMicrosecond},
     };
 
-    FigureReport report(
-        "fig15_fabric_latency",
-        "Fig. 15: DeACT-N speedup wrt I-FAM vs fabric latency",
-        "latency", group_names);
+    // Flatten the whole grid into one (I-FAM, DeACT-N)-pair list and
+    // fan it out through the executor (--sweep-jobs workers); rows are
+    // reassembled from the slot-ordered results below.
+    std::vector<SystemConfig> configs;
     for (const auto& [label, latency] : points) {
-        std::cerr << "fig15: fabric " << label << "...\n";
-        std::vector<double> row;
         for (const auto& [name, group] : groups) {
-            std::vector<double> speedups;
             for (const auto& profile : group) {
                 SystemConfig ifam = makeConfig(profile, ArchKind::IFam,
                                                options.instructions);
@@ -53,8 +51,29 @@ main(int argc, char** argv)
                     makeConfig(profile, ArchKind::DeactN,
                                options.instructions);
                 deact.fabric.latency = ifam.fabric.latency;
-                double i = runOne(ifam).ipc;
-                double d = runOne(deact).ipc;
+                configs.push_back(std::move(ifam));
+                configs.push_back(std::move(deact));
+            }
+        }
+    }
+    std::cerr << "fig15: " << configs.size() << " runs across "
+              << options.sweepJobs << " sweep jobs...\n";
+    SweepExecutor executor(options.sweepJobs);
+    const std::vector<RunResult> results =
+        executor.runResults(configs, 0);
+
+    FigureReport report(
+        "fig15_fabric_latency",
+        "Fig. 15: DeACT-N speedup wrt I-FAM vs fabric latency",
+        "latency", group_names);
+    std::size_t cursor = 0;
+    for (const auto& [label, latency] : points) {
+        std::vector<double> row;
+        for (const auto& [name, group] : groups) {
+            std::vector<double> speedups;
+            for (std::size_t p = 0; p < group.size(); ++p) {
+                double i = results[cursor++].ipc;
+                double d = results[cursor++].ipc;
                 speedups.push_back(i > 0 ? d / i : 0.0);
             }
             row.push_back(geomean(speedups));

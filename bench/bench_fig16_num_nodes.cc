@@ -15,10 +15,9 @@
  * serial one).
  */
 
-#include <algorithm>
-#include <chrono>
 #include <iostream>
 
+#include "harness/executor.hh"
 #include "harness/figure_report.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
@@ -42,11 +41,17 @@ main(int argc, char** argv)
     // the golden-pinned fig16_num_nodes sweep cover the same counts.
     const Sweep& axis_source =
         SweepRegistry::paper().byName("fig16_num_nodes");
+
+    // Phase 1: every ipc run of the figure — (I-FAM, DeACT-N) pairs
+    // for pf and dc per node count — fans out through the executor
+    // under --sweep-jobs. The host-speedup wall-clock samples stay in
+    // phase 2, after the pool has drained: timing a run while sibling
+    // points compete for cores would measure contention, not the
+    // kernel.
+    std::vector<SystemConfig> configs;
+    std::vector<SystemConfig> pf_deact_configs;
     for (const auto& point : axis_source.axis.points) {
         auto nodes = static_cast<unsigned>(point.value);
-        std::cerr << "fig16: " << nodes << " node(s)...\n";
-        std::vector<double> row;
-        double pf_serial_s = 0.0, pf_parallel_s = 0.0;
         for (const char* bench : {"pf", "dc"}) {
             SystemConfig ifam =
                 makeConfig(profiles::byName(bench), ArchKind::IFam,
@@ -61,24 +66,39 @@ main(int argc, char** argv)
                            options.instructions);
             deact.nodes = nodes;
             deact.fabric.serialization = kContendedFabricSerialization;
-            double i = runOne(ifam).ipc;
-            // Time the ipc run itself: it doubles as the first serial
-            // wall-clock sample below.
-            double d = 0.0;
-            double first_serial_s =
-                bestOfSeconds(1, [&] { d = runOne(deact).ipc; });
+            if (bench == std::string("pf"))
+                pf_deact_configs.push_back(deact);
+            configs.push_back(std::move(ifam));
+            configs.push_back(std::move(deact));
+        }
+    }
+    std::cerr << "fig16: " << configs.size() << " runs across "
+              << options.sweepJobs << " sweep jobs...\n";
+    SweepExecutor executor(options.sweepJobs);
+    const std::vector<RunResult> results =
+        executor.runResults(configs, 0);
+
+    // Phase 2: serial vs parallel-kernel wall clock for the pf/DeACT-N
+    // point of each row, best-of-2 per side (the shared harness
+    // sampler bench_throughput also uses) so the exported speedup
+    // column tracks the kernel, not host jitter.
+    std::size_t cursor = 0;
+    for (std::size_t p = 0; p < axis_source.axis.points.size(); ++p) {
+        auto nodes =
+            static_cast<unsigned>(axis_source.axis.points[p].value);
+        std::cerr << "fig16: timing " << nodes << " node(s)...\n";
+        std::vector<double> row;
+        for (std::size_t b = 0; b < 2; ++b) {
+            double i = results[cursor++].ipc;
+            double d = results[cursor++].ipc;
             row.push_back(i > 0 ? d / i : 0.0);
-            if (psim_threads > 0 && bench == std::string("pf")) {
-                // Best-of-2 wall samples per side (the shared harness
-                // sampler bench_throughput also uses) so the exported
-                // speedup column tracks the kernel, not host jitter —
-                // the serial side reuses the ipc run as sample one.
-                pf_serial_s = std::min(
-                    first_serial_s,
-                    bestOfSeconds(1, [&] { (void)runOne(deact); }));
-                pf_parallel_s = bestOfSeconds(
-                    2, [&] { (void)runOne(deact, psim_threads); });
-            }
+        }
+        double pf_serial_s = 0.0, pf_parallel_s = 0.0;
+        if (psim_threads > 0) {
+            const SystemConfig& deact = pf_deact_configs[p];
+            pf_serial_s = bestOfSeconds(2, [&] { (void)runOne(deact); });
+            pf_parallel_s = bestOfSeconds(
+                2, [&] { (void)runOne(deact, psim_threads); });
         }
         row.push_back(pf_parallel_s > 0.0 ? pf_serial_s / pf_parallel_s
                                           : 0.0);

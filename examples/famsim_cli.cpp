@@ -61,6 +61,12 @@
  *     --sweep <name>       run a sensitivity sweep (Fig. 13-16); with
  *                          --json print the whole curve as one JSON
  *                          object, else a summary table
+ *     --sweep-jobs <n>     host workers fanning the sweep's points out
+ *                          in parallel (SweepExecutor; default 1; the
+ *                          FAMSIM_SWEEP_JOBS environment variable
+ *                          supplies the default). Output is
+ *                          byte-identical for every n; ignored without
+ *                          --sweep
  *     --list-sweeps        list registered sensitivity sweeps
  *     --help               print usage and exit 0
  */
@@ -77,6 +83,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/executor.hh"
 #include "harness/figure_report.hh"
 #include "harness/runner.hh"
 #include "harness/scenario.hh"
@@ -100,7 +107,7 @@ printUsage(std::ostream& os, const char* argv0)
           "  [--replay-core n] [--record-scenario name]\n"
           "  [--replay-scenario name] [--stats] [--csv] [--json]\n"
           "  [--list] [--scenario name] [--list-scenarios]\n"
-          "  [--sweep name] [--list-sweeps] [--help]\n";
+          "  [--sweep name] [--sweep-jobs n] [--list-sweeps] [--help]\n";
 }
 
 [[noreturn]] void
@@ -192,6 +199,8 @@ main(int argc, char** argv)
     double skew = 0.0;
     std::uint64_t churn = 0;
     unsigned threads = threadsFromEnv(0);
+    unsigned sweep_jobs = sweepJobsFromEnv(1);
+    bool sweep_jobs_given = false;
     bool dump_stats = false, dump_csv = false, dump_json = false;
     bool show_help = false, list_profiles = false, list_scenarios = false;
     bool list_sweeps = false;
@@ -269,6 +278,16 @@ main(int argc, char** argv)
             scenario_name = need("--scenario");
         else if (arg == "--list-scenarios") list_scenarios = true;
         else if (arg == "--sweep") sweep_name = need("--sweep");
+        else if (arg == "--sweep-jobs") {
+            // Same cap as FAMSIM_SWEEP_JOBS clamping; 0 workers is
+            // meaningless (the caller always participates).
+            sweep_jobs = static_cast<unsigned>(
+                uintArg("--sweep-jobs", 1024));
+            if (sweep_jobs == 0)
+                badValue(argv[0], "--sweep-jobs", "0",
+                         "1 to 1024 sweep workers");
+            sweep_jobs_given = true;
+        }
         else if (arg == "--list-sweeps") list_sweeps = true;
         else if (arg == "--list") list_profiles = true;
         else {
@@ -345,6 +364,12 @@ main(int argc, char** argv)
     if ((replay_node || replay_core) && replay_path.empty()) {
         std::cerr << "--replay-node/--replay-core need --replay <file>\n";
         return 2;
+    }
+    if (sweep_jobs_given && sweep_name.empty()) {
+        // Point-level fan-out only exists in --sweep mode; every other
+        // mode runs exactly one configuration.
+        std::cerr << "warning: --sweep-jobs is ignored without "
+                     "--sweep\n";
     }
     if (registry_modes == 1) {
         // Scenario, sweep and scenario-capture/-replay runs use their
@@ -428,17 +453,26 @@ main(int argc, char** argv)
         }
         const Sweep& sweep = sweeps.byName(sweep_name);
         if (dump_json) {
-            writeSweepJson(std::cout, sweep, threads);
+            writeSweepJson(std::cout, sweep, threads, sweep_jobs);
             return 0;
         }
         ScopedQuietLogs quiet_sweep;
         FigureReport report(sweep.name, sweep.description,
                             sweep.axis.name,
                             {"ipc", "fam_at%", "at_hit%", "acm_hit%"});
-        for (const Scenario& point : sweep.expand()) {
+        const std::vector<Scenario> points = sweep.expand();
+        std::vector<SystemConfig> configs;
+        configs.reserve(points.size());
+        for (const Scenario& point : points) {
             std::cerr << "sweep: " << point.name << "...\n";
-            RunResult r = runOne(point.config, threads);
-            report.addRow(point.name.substr(sweep.name.size() + 1),
+            configs.push_back(point.config);
+        }
+        SweepExecutor executor(sweep_jobs);
+        const std::vector<RunResult> results =
+            executor.runResults(configs, threads);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const RunResult& r = results[i];
+            report.addRow(points[i].name.substr(sweep.name.size() + 1),
                           {r.ipc, r.famAtPercent,
                            100.0 * r.translationHitRate,
                            100.0 * r.acmHitRate});

@@ -69,6 +69,19 @@ class FamMedia : public Component
         return static_cast<unsigned>(modules_.size());
     }
 
+    /**
+     * Forget every module's bank-busy timestamps, for System reuse
+     * (the media object survives a System::reset so the broker's
+     * pointer and the established FAM layout stay valid, but its
+     * timing state belongs to the finished run).
+     */
+    void
+    resetTiming()
+    {
+        for (auto& module : modules_)
+            module->resetTiming();
+    }
+
     /** Total requests observed (for Fig. 4 / Fig. 11 percentages). */
     [[nodiscard]] std::uint64_t totalRequests() const
     {

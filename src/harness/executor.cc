@@ -1,0 +1,108 @@
+#include "harness/executor.hh"
+
+#include <exception>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace famsim {
+
+SweepExecutor::SweepExecutor(unsigned jobs)
+    : pool_(jobs == 0 ? 1 : jobs), workerSystems_(pool_.threads())
+{
+}
+
+void
+SweepExecutor::forEach(std::size_t tasks,
+                       const std::function<void(std::size_t)>& fn)
+{
+    if (tasks == 0)
+        return;
+    // The raw WorkerPool epoch has no exception story (a throw on a
+    // worker thread terminates the process); capture per slot instead
+    // and rethrow the lowest-slot failure on the caller once the
+    // barrier has passed — every non-throwing task still completes,
+    // and the rethrown error is deterministic in the face of
+    // completion-order races.
+    std::vector<std::exception_ptr> errors(tasks);
+    pool_.runEpochIndexed(tasks,
+                          [&](std::size_t /*worker*/, std::size_t task) {
+        try {
+            fn(task);
+        } catch (...) {
+            errors[task] = std::current_exception();
+        }
+    });
+    for (std::exception_ptr& error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+System&
+SweepExecutor::systemFor(std::size_t worker, const SystemConfig& config)
+{
+    std::unique_ptr<System>& slot = workerSystems_[worker];
+    if (slot && slot->canReuseFor(config)) {
+        slot->reset(config);
+        systemsReused_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        slot = std::make_unique<System>(config);
+        systemsBuilt_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *slot;
+}
+
+std::vector<std::string>
+SweepExecutor::runScenarioJsons(const std::vector<Scenario>& points,
+                                unsigned threads)
+{
+    std::vector<std::string> out(points.size());
+    std::vector<std::exception_ptr> errors(points.size());
+    pool_.runEpochIndexed(points.size(),
+                          [&](std::size_t worker, std::size_t task) {
+        try {
+            ScopedQuietLogs quiet;
+            std::ostringstream os;
+            System& system = systemFor(worker, points[task].config);
+            writeScenarioJson(os, points[task], system, threads);
+            out[task] = os.str();
+        } catch (...) {
+            // A failure may have left the cached System mid-run;
+            // never reuse it.
+            workerSystems_[worker].reset();
+            errors[task] = std::current_exception();
+        }
+    });
+    for (std::exception_ptr& error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return out;
+}
+
+std::vector<RunResult>
+SweepExecutor::runResults(const std::vector<SystemConfig>& configs,
+                          unsigned threads)
+{
+    std::vector<RunResult> out(configs.size());
+    std::vector<std::exception_ptr> errors(configs.size());
+    pool_.runEpochIndexed(configs.size(),
+                          [&](std::size_t worker, std::size_t task) {
+        try {
+            System& system = systemFor(worker, configs[task]);
+            system.run(threads);
+            out[task] = summarize(system);
+        } catch (...) {
+            workerSystems_[worker].reset();
+            errors[task] = std::current_exception();
+        }
+    });
+    for (std::exception_ptr& error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return out;
+}
+
+} // namespace famsim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SweepExecutor — point-level parallelism for sweeps, scenario suites
+ * and bench fan-outs.
+ *
+ * Sweep/scenario points are independent simulations, and each one runs
+ * on the untouched serial kernel, so fanning the *points* across host
+ * threads is determinism-free parallelism: the executor runs every
+ * point to completion on one worker, collects the result into that
+ * point's pre-sized slot and hands the slots back in submission order
+ * — the caller's output is byte-identical for every job count,
+ * bounded in wall clock by the slowest single point.
+ *
+ * Each worker additionally keeps one reusable System: consecutive
+ * points that share the expensive construction state (topology, seed,
+ * profile, OS/FAM geometry — see System::reusableAcross) are run via
+ * System::reset() instead of a full reconstruction, which skips the
+ * dominant page-table prefault cost. Reuse is a pure wall-clock
+ * optimization: reset() is pinned to produce bit-identical statistics
+ * to a fresh build (tests/test_executor.cc), so slot contents do not
+ * depend on which worker ran which point.
+ */
+
+#ifndef FAMSIM_HARNESS_EXECUTOR_HH
+#define FAMSIM_HARNESS_EXECUTOR_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/scenario.hh"
+#include "psim/worker_pool.hh"
+
+namespace famsim {
+
+/** Runs independent points across a worker pool, results in order. */
+class SweepExecutor
+{
+  public:
+    /**
+     * @param jobs total workers including the caller (>= 1; clamped
+     *        up from 0). jobs=1 spawns no threads and visits points in
+     *        slot order on the calling thread — the same code path as
+     *        jobs=N minus the concurrency, and still System-reusing.
+     */
+    explicit SweepExecutor(unsigned jobs = 1);
+
+    SweepExecutor(const SweepExecutor&) = delete;
+    SweepExecutor& operator=(const SweepExecutor&) = delete;
+
+    /** Total workers, caller included. */
+    [[nodiscard]] unsigned jobs() const { return pool_.threads(); }
+
+    /**
+     * Run fn(0) .. fn(tasks - 1) across the pool, each exactly once.
+     * Unlike the raw WorkerPool epoch, a throwing task does not
+     * terminate the process: exceptions are captured per slot and the
+     * lowest-slot one is rethrown on the calling thread after the
+     * epoch completes (every non-throwing task still runs).
+     */
+    void forEach(std::size_t tasks,
+                 const std::function<void(std::size_t)>& fn);
+
+    /**
+     * Render every scenario's full JSON export — byte-for-byte what
+     * writeScenarioJson(os, points[i], threads) writes (no trailing
+     * newline) — in slot order, reusing each worker's System across
+     * compatible points.
+     */
+    [[nodiscard]] std::vector<std::string>
+    runScenarioJsons(const std::vector<Scenario>& points,
+                     unsigned threads = 0);
+
+    /**
+     * Build, run and summarize every configuration (the bench_fig13-16
+     * fan-out), results in slot order, with the same System reuse.
+     */
+    [[nodiscard]] std::vector<RunResult>
+    runResults(const std::vector<SystemConfig>& configs,
+               unsigned threads = 0);
+
+    /** Systems constructed from scratch across this executor's life. */
+    [[nodiscard]] std::uint64_t systemsBuilt() const
+    {
+        return systemsBuilt_.load(std::memory_order_relaxed);
+    }
+    /** Points served by System::reset() of a cached System. */
+    [[nodiscard]] std::uint64_t systemsReused() const
+    {
+        return systemsReused_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /**
+     * The cached System of @p worker, reset or rebuilt for @p config
+     * and ready to run. Only ever called from that worker's thread.
+     */
+    System& systemFor(std::size_t worker, const SystemConfig& config);
+
+    WorkerPool pool_;
+    /** One reusable System slot per worker, caller = slot 0. */
+    std::vector<std::unique_ptr<System>> workerSystems_;
+    std::atomic<std::uint64_t> systemsBuilt_{0};
+    std::atomic<std::uint64_t> systemsReused_{0};
+};
+
+} // namespace famsim
+
+#endif // FAMSIM_HARNESS_EXECUTOR_HH

@@ -143,6 +143,7 @@ parseBenchArgs(int argc, char** argv, std::uint64_t instr_fallback)
 {
     BenchOptions options;
     std::uint64_t instr_override = 0;
+    unsigned jobs_override = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto need = [&](const char* flag) -> std::string {
@@ -168,13 +169,29 @@ parseBenchArgs(int argc, char** argv, std::uint64_t instr_fallback)
                           << value << "'\n";
                 std::exit(2);
             }
+        } else if (arg == "--sweep-jobs") {
+            std::string value = need("--sweep-jobs");
+            char* end = nullptr;
+            unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+            if (!end || *end != '\0' || parsed == 0 ||
+                parsed > 1024 ||
+                value.find('-') != std::string::npos) {
+                std::cerr << "--sweep-jobs needs a positive integer "
+                             "(<= 1024), got '"
+                          << value << "'\n";
+                std::exit(2);
+            }
+            jobs_override = static_cast<unsigned>(parsed);
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: " << argv[0]
-                      << " [--json] [--out <path>] [--instr <n>]\n"
-                         "  --json   emit the figure as JSON\n"
-                         "  --out    write output to a file\n"
-                         "  --instr  instructions per run (also "
-                         "FAMSIM_INSTR)\n";
+                      << " [--json] [--out <path>] [--instr <n>]"
+                         " [--sweep-jobs <n>]\n"
+                         "  --json       emit the figure as JSON\n"
+                         "  --out        write output to a file\n"
+                         "  --instr      instructions per run (also "
+                         "FAMSIM_INSTR)\n"
+                         "  --sweep-jobs point-level workers (also "
+                         "FAMSIM_SWEEP_JOBS)\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option '" << arg
@@ -184,6 +201,8 @@ parseBenchArgs(int argc, char** argv, std::uint64_t instr_fallback)
     }
     options.instructions =
         instr_override != 0 ? instr_override : instrBudget(instr_fallback);
+    options.sweepJobs =
+        jobs_override != 0 ? jobs_override : sweepJobsFromEnv(1);
     return options;
 }
 

@@ -78,6 +78,11 @@ struct BenchOptions {
     std::string outPath;
     /** Resolved per-run instruction budget. */
     std::uint64_t instructions = 0;
+    /**
+     * Sweep-point workers for the bench's SweepExecutor fan-out
+     * (--sweep-jobs, falling back to FAMSIM_SWEEP_JOBS, then 1).
+     */
+    unsigned sweepJobs = 1;
 };
 
 /**
@@ -108,6 +113,7 @@ bestOfSeconds(int reps, Fn&& fn)
  *   --json            emit the figure as JSON on stdout
  *   --out <path>      write the output (table or JSON) to a file
  *   --instr <n>       instruction budget (overrides FAMSIM_INSTR)
+ *   --sweep-jobs <n>  point-level workers (overrides FAMSIM_SWEEP_JOBS)
  *   --help            print usage and exit 0
  * Unknown flags exit 2. @p instr_fallback seeds instrBudget() when
  * neither --instr nor FAMSIM_INSTR is given.

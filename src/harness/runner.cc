@@ -82,6 +82,26 @@ threadsFromEnv(unsigned fallback)
     return fallback;
 }
 
+unsigned
+sweepJobsFromEnv(unsigned fallback)
+{
+    if (const char* env = std::getenv("FAMSIM_SWEEP_JOBS")) {
+        char* end = nullptr;
+        unsigned long value = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && value > 0) {
+            constexpr unsigned long kMaxSweepJobs = 1024;
+            if (value > kMaxSweepJobs) {
+                warn("clamping FAMSIM_SWEEP_JOBS=", value, " to ",
+                     kMaxSweepJobs);
+                value = kMaxSweepJobs;
+            }
+            return static_cast<unsigned>(value);
+        }
+        warn("ignoring malformed FAMSIM_SWEEP_JOBS='", env, "'");
+    }
+    return fallback;
+}
+
 double
 geomean(const std::vector<double>& values)
 {

@@ -61,6 +61,15 @@ makeConfig(const StreamProfile& profile, ArchKind arch,
  */
 [[nodiscard]] unsigned threadsFromEnv(unsigned fallback = 0);
 
+/**
+ * Sweep-point worker count requested via the FAMSIM_SWEEP_JOBS
+ * environment variable (famsim_cli --sweep-jobs overrides it);
+ * @p fallback when unset or malformed. Read only by the CLI, benches
+ * and tests — the library itself never consults the environment,
+ * mirroring FAMSIM_THREADS.
+ */
+[[nodiscard]] unsigned sweepJobsFromEnv(unsigned fallback = 1);
+
 /** Geometric mean (ignores non-positive values defensively). */
 [[nodiscard]] double geomean(const std::vector<double>& values);
 

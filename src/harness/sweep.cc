@@ -4,6 +4,7 @@
 #include <sstream>
 #include <streambuf>
 
+#include "harness/executor.hh"
 #include "harness/runner.hh"
 #include "sim/logging.hh"
 
@@ -302,7 +303,8 @@ class IndentingBuf : public std::streambuf
 } // namespace
 
 void
-writeSweepJson(std::ostream& os, const Sweep& sweep, unsigned threads)
+writeSweepJson(std::ostream& os, const Sweep& sweep, unsigned threads,
+               unsigned jobs)
 {
     os << "{\n  \"sweep\": ";
     json::writeString(os, sweep.name);
@@ -320,27 +322,34 @@ writeSweepJson(std::ostream& os, const Sweep& sweep, unsigned threads)
     }
     os << "]";
 
+    // Run every point through the executor (jobs workers, System
+    // reuse across compatible points), then emit the collected
+    // exports in axis order — completion order never shows in the
+    // output, so the bytes match the old point-at-a-time serial
+    // export for every job count.
+    SweepExecutor executor(jobs);
+    const std::vector<std::string> exports =
+        executor.runScenarioJsons(sweep.expand(), threads);
+
     os << ",\n  \"points\": [";
-    bool first = true;
-    for (const auto& p : sweep.axis.points) {
-        // Each point streams its full scenario export through the
-        // indenting filter, nesting it inside the points array.
-        os << (first ? "" : ",") << "\n    ";
+    for (std::size_t i = 0; i < exports.size(); ++i) {
+        // Each point's export is nested inside the points array via
+        // the indenting filter, exactly as when it streamed directly.
+        os << (i ? "," : "") << "\n    ";
         os.flush();
         IndentingBuf indenter(os.rdbuf(), 4);
         std::ostream nested(&indenter);
-        writeScenarioJson(nested, sweep.point(p), threads);
+        nested << exports[i];
         nested.flush();
-        first = false;
     }
     os << "\n  ]\n}\n";
 }
 
 std::string
-runSweepJson(const Sweep& sweep, unsigned threads)
+runSweepJson(const Sweep& sweep, unsigned threads, unsigned jobs)
 {
     std::ostringstream os;
-    writeSweepJson(os, sweep, threads);
+    writeSweepJson(os, sweep, threads, jobs);
     return os.str();
 }
 

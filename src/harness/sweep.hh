@@ -102,19 +102,25 @@ class SweepRegistry
  * deterministic JSON object (each point embeds its full scenario
  * export, stats registry included). Byte-identical across runs with
  * the same build and seed. @p threads selects the kernel per point
- * (see runScenarioJson).
+ * (see runScenarioJson); @p jobs fans the points across that many
+ * host workers (SweepExecutor) — the export is byte-identical for
+ * every job count.
  */
 [[nodiscard]] std::string runSweepJson(const Sweep& sweep,
-                                       unsigned threads = 0);
+                                       unsigned threads = 0,
+                                       unsigned jobs = 1);
 
 /**
- * Streaming core of runSweepJson: writes the export directly to @p os
- * (each point's scenario export streams through an indenting filter —
- * nothing is materialized, so arbitrarily large sweeps export in O(1)
- * memory). Byte-identical to runSweepJson(sweep, threads).
+ * Core of runSweepJson: writes the export directly to @p os. Every
+ * point runs through the SweepExecutor (even jobs=1, so consecutive
+ * compatible points reuse one System instead of reconstructing); the
+ * completed point exports are then emitted in axis order through an
+ * indenting filter, regardless of completion order. Memory is O(sum
+ * of point exports) — the price of running points concurrently.
+ * Byte-identical to runSweepJson(sweep, threads, jobs).
  */
 void writeSweepJson(std::ostream& os, const Sweep& sweep,
-                    unsigned threads = 0);
+                    unsigned threads = 0, unsigned jobs = 1);
 
 } // namespace famsim
 

@@ -1,5 +1,7 @@
 #include "mem/banked_memory.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace famsim {
@@ -56,6 +58,14 @@ BankedMemory::start(const PktPtr& pkt, std::uint64_t addr)
     latency_.sample((done - now) / kNanosecond);
 
     sim_.events().schedule(done, [this, pkt] { finish(pkt); });
+}
+
+void
+BankedMemory::resetTiming()
+{
+    FAMSIM_ASSERT(inFlight_ == 0 && waitQueue_.empty(),
+                  "resetTiming on a busy memory device");
+    std::fill(bankFree_.begin(), bankFree_.end(), 0);
 }
 
 void

@@ -1,13 +1,18 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
 namespace famsim {
 namespace {
 
-int throw_depth = 0;
-int quiet_depth = 0;
+// The depths are process-wide moderation knobs, not per-thread state:
+// a ScopedQuietLogs on one sweep-executor worker is meant to silence
+// the whole process for its duration (concurrent points are equally
+// golden-pinned). Atomics keep the concurrent ctor/dtor bumps defined.
+std::atomic<int> throw_depth{0};
+std::atomic<int> quiet_depth{0};
 
 } // namespace
 

@@ -1,0 +1,75 @@
+#!/bin/sh
+# CLI flag contract for famsim_cli: checked numeric parsing must
+# reject garbage with exit 2 (not silently truncate or abort), and
+# flags that a mode ignores must say so on stderr while the run still
+# succeeds. Covers the --sweep-jobs executor flag end to end: parse
+# errors, the ignored-without---sweep warning, the FAMSIM_SWEEP_JOBS
+# default, and byte-identical sweep JSON across job counts.
+#
+# Usage: cli_flags.sh <path-to-famsim_cli>
+set -eu
+
+cli=$1
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/famsim_cli_flags.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+# --- checked parsing: garbage exits 2, never runs -------------------
+for bad in garbage 4x -3 0 1025; do
+    if "$cli" --sweep fig14_acm_size --sweep-jobs "$bad" \
+        > /dev/null 2> "$work/err.txt"; then
+        fail "--sweep-jobs $bad was accepted"
+    else
+        status=$?
+        [ "$status" -eq 2 ] ||
+            fail "--sweep-jobs $bad exited $status, expected 2"
+    fi
+    grep -q "sweep-jobs" "$work/err.txt" ||
+        fail "--sweep-jobs $bad error does not name the flag"
+done
+
+# --- --sweep-jobs without --sweep warns but still runs --------------
+"$cli" --bench mcf --instr 2000 --sweep-jobs 2 \
+    > /dev/null 2> "$work/warn.txt" ||
+    fail "--sweep-jobs without --sweep broke the run"
+grep -q "warning: --sweep-jobs is ignored without" "$work/warn.txt" ||
+    fail "missing ignored-without---sweep warning"
+
+# --- pinned modes warn about ignored config flags -------------------
+"$cli" --scenario fig14_acm_size.b16 --stu-entries 512 --threads 0 \
+    > "$work/pinned.json" 2> "$work/pinned_err.txt" ||
+    fail "--scenario run with an ignored flag broke"
+grep -q "warning: --stu-entries is ignored" "$work/pinned_err.txt" ||
+    fail "missing pinned-flag warning for --stu-entries"
+"$cli" --scenario fig14_acm_size.b16 --threads 0 > "$work/plain.json" \
+    2> /dev/null
+cmp -s "$work/pinned.json" "$work/plain.json" ||
+    fail "the ignored flag changed the pinned scenario output"
+
+# --- sweep JSON is byte-identical for every job count ---------------
+"$cli" --sweep fig14_acm_size --json --sweep-jobs 1 \
+    > "$work/sweep_j1.json" 2> /dev/null
+"$cli" --sweep fig14_acm_size --json --sweep-jobs 3 \
+    > "$work/sweep_j3.json" 2> /dev/null
+cmp -s "$work/sweep_j1.json" "$work/sweep_j3.json" ||
+    fail "--sweep-jobs 3 export diverged from --sweep-jobs 1"
+
+# --- FAMSIM_SWEEP_JOBS seeds the default, malformed values warn -----
+FAMSIM_SWEEP_JOBS=2 "$cli" --sweep fig14_acm_size --json \
+    > "$work/sweep_env.json" 2> /dev/null
+cmp -s "$work/sweep_j1.json" "$work/sweep_env.json" ||
+    fail "FAMSIM_SWEEP_JOBS=2 export diverged from --sweep-jobs 1"
+FAMSIM_SWEEP_JOBS=bogus "$cli" --sweep fig14_acm_size --json \
+    > "$work/sweep_bogus.json" 2> "$work/env_err.txt" ||
+    fail "malformed FAMSIM_SWEEP_JOBS broke the run"
+grep -q "FAMSIM_SWEEP_JOBS" "$work/env_err.txt" ||
+    fail "malformed FAMSIM_SWEEP_JOBS did not warn"
+cmp -s "$work/sweep_j1.json" "$work/sweep_bogus.json" ||
+    fail "malformed FAMSIM_SWEEP_JOBS changed the export"
+
+echo "flag contract OK: $(wc -c < "$work/sweep_j1.json") sweep bytes stable"
