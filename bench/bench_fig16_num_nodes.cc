@@ -21,6 +21,7 @@
 #include "harness/figure_report.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
+#include "sim/profiler.hh"
 
 using namespace famsim;
 
@@ -103,6 +104,20 @@ main(int argc, char** argv)
         row.push_back(pf_parallel_s > 0.0 ? pf_serial_s / pf_parallel_s
                                           : 0.0);
         report.addRow(std::to_string(nodes), row);
+    }
+    // FAMSIM_PROFILE: one extra profiled run of the largest pf/DeACT-N
+    // point, window-profile to stderr (host timings — never in the
+    // exported figure).
+    if (profileFromEnv() && psim_threads > 0 &&
+        !pf_deact_configs.empty()) {
+        Profiler prof;
+        System system(pf_deact_configs.back());
+        system.attachProfiler(&prof);
+        system.run(psim_threads);
+        std::cerr << "fig16 profile (largest pf/DeACT-N point, "
+                  << psim_threads << " workers): ";
+        prof.writeJson(std::cerr);
+        std::cerr << "\n";
     }
     report.addNote("paper: speedup grows with sharing; dc 2.92x at 1 "
                    "node -> 3.26x at 8 nodes");

@@ -51,6 +51,19 @@
  *                          (byte-identical to --scenario <name> when
  *                          the directory was written by
  *                          --record-scenario <name>)
+ *     --trace-out <file>   write a Chrome trace_event JSON timeline of
+ *                          the run (load in Perfetto / chrome://tracing;
+ *                          byte-identical for every --threads value on
+ *                          warmup-free configurations). The FAMSIM_TRACE
+ *                          environment variable supplies the default
+ *     --trace-filter <c>   packet | psim | all (default all): restrict
+ *                          the trace to packet-lifecycle spans or
+ *                          parallel-kernel window events
+ *     --profile            attach the wall-clock profiler and export a
+ *                          "profile" block (host timings, explicitly
+ *                          nondeterministic) alongside the stats; the
+ *                          FAMSIM_PROFILE environment variable supplies
+ *                          the default
  *     --stats              dump every statistic after the run
  *     --csv                dump statistics as CSV
  *     --json               dump statistics as JSON
@@ -76,6 +89,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -88,6 +102,9 @@
 #include "harness/runner.hh"
 #include "harness/scenario.hh"
 #include "harness/sweep.hh"
+#include "sim/logging.hh"
+#include "sim/profiler.hh"
+#include "sim/trace_sink.hh"
 #include "workload/trace.hh"
 
 using namespace famsim;
@@ -107,7 +124,9 @@ printUsage(std::ostream& os, const char* argv0)
           "  [--replay-core n] [--record-scenario name]\n"
           "  [--replay-scenario name] [--stats] [--csv] [--json]\n"
           "  [--list] [--scenario name] [--list-scenarios]\n"
-          "  [--sweep name] [--sweep-jobs n] [--list-sweeps] [--help]\n";
+          "  [--sweep name] [--sweep-jobs n] [--list-sweeps]\n"
+          "  [--trace-out file] [--trace-filter packet|psim|all]\n"
+          "  [--profile] [--help]\n";
 }
 
 [[noreturn]] void
@@ -179,6 +198,34 @@ parseDouble(const char* argv0, const char* flag, const std::string& text,
     return v;
 }
 
+unsigned
+parseTraceFilter(const char* argv0, const std::string& text)
+{
+    if (text == "packet") return TraceSink::kPacket;
+    if (text == "psim") return TraceSink::kPsim;
+    if (text == "all") return TraceSink::kAll;
+    badValue(argv0, "--trace-filter", text, "packet|psim|all");
+}
+
+/** Flush @p sink to @p path; exits 1 on any file-system failure. */
+void
+writeTraceFile(const TraceSink& sink, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::cerr << "cannot open trace file '" << path << "'\n";
+        std::exit(1);
+    }
+    sink.write(out);
+    out.flush();
+    if (!out) {
+        std::cerr << "failed writing trace to '" << path << "'\n";
+        std::exit(1);
+    }
+    std::cerr << "wrote " << sink.size() << " trace events to " << path
+              << "\n";
+}
+
 } // namespace
 
 int
@@ -201,6 +248,9 @@ main(int argc, char** argv)
     unsigned threads = threadsFromEnv(0);
     unsigned sweep_jobs = sweepJobsFromEnv(1);
     bool sweep_jobs_given = false;
+    std::string trace_out = traceFromEnv();
+    unsigned trace_filter = TraceSink::kAll;
+    bool want_profile = profileFromEnv();
     bool dump_stats = false, dump_csv = false, dump_json = false;
     bool show_help = false, list_profiles = false, list_scenarios = false;
     bool list_sweeps = false;
@@ -288,6 +338,11 @@ main(int argc, char** argv)
                          "1 to 1024 sweep workers");
             sweep_jobs_given = true;
         }
+        else if (arg == "--trace-out") trace_out = need("--trace-out");
+        else if (arg == "--trace-filter")
+            trace_filter =
+                parseTraceFilter(argv[0], need("--trace-filter"));
+        else if (arg == "--profile") want_profile = true;
         else if (arg == "--list-sweeps") list_sweeps = true;
         else if (arg == "--list") list_profiles = true;
         else {
@@ -368,8 +423,18 @@ main(int argc, char** argv)
     if (sweep_jobs_given && sweep_name.empty()) {
         // Point-level fan-out only exists in --sweep mode; every other
         // mode runs exactly one configuration.
-        std::cerr << "warning: --sweep-jobs is ignored without "
-                     "--sweep\n";
+        warn("--sweep-jobs is ignored without --sweep");
+    }
+    if ((!trace_out.empty() || want_profile) &&
+        (!sweep_name.empty() || !record_scenario.empty() ||
+         !replay_scenario.empty())) {
+        // Tracing/profiling attach to exactly one System run; the
+        // sweep fans out many and the capture/replay modes pin their
+        // own export format.
+        warn("--trace-out/--profile are ignored in --sweep/"
+             "--record-scenario/--replay-scenario mode");
+        trace_out.clear();
+        want_profile = false;
     }
     if (registry_modes == 1) {
         // Scenario, sweep and scenario-capture/-replay runs use their
@@ -393,10 +458,9 @@ main(int argc, char** argv)
         for (int i = 1; i < argc; ++i) {
             for (const char* flag : pinned) {
                 if (std::strcmp(argv[i], flag) == 0) {
-                    std::cerr << "warning: " << flag
-                              << " is ignored; --scenario/--sweep/"
-                                 "--record-scenario/--replay-scenario "
-                                 "runs use their pinned configuration\n";
+                    warn(flag, " is ignored; --scenario/--sweep/"
+                               "--record-scenario/--replay-scenario "
+                               "runs use their pinned configuration");
                 }
             }
         }
@@ -434,13 +498,31 @@ main(int argc, char** argv)
                       << "' (try --list-scenarios)\n";
             return 2;
         }
+        const Scenario& scenario = reg.has(scenario_name)
+                                       ? reg.byName(scenario_name)
+                                       : points.byName(scenario_name);
+        if (!trace_out.empty() || want_profile) {
+            // Observed run: construct the System here so the sink /
+            // profiler can attach before writeScenarioJson runs it.
+            // The stats portion of the export stays byte-identical to
+            // the plain path (observation never perturbs simulation).
+            ScopedQuietLogs quiet;
+            System system(scenario.config);
+            TraceSink sink(system.traceLanes(), trace_filter);
+            Profiler prof;
+            if (!trace_out.empty())
+                system.attachTrace(&sink);
+            if (want_profile)
+                system.attachProfiler(&prof);
+            writeScenarioJson(std::cout, scenario, system, threads);
+            std::cout << "\n";
+            if (!trace_out.empty())
+                writeTraceFile(sink, trace_out);
+            return 0;
+        }
         // Streamed: the export goes straight to stdout as the stats
         // registry serializes, never materializing the JSON in memory.
-        writeScenarioJson(std::cout,
-                          reg.has(scenario_name)
-                              ? reg.byName(scenario_name)
-                              : points.byName(scenario_name),
-                          threads);
+        writeScenarioJson(std::cout, scenario, threads);
         std::cout << "\n";
         return 0;
     }
@@ -477,6 +559,13 @@ main(int argc, char** argv)
                            100.0 * r.translationHitRate,
                            100.0 * r.acmHitRate});
         }
+        // Host wall clock per point, stderr only: the table on stdout
+        // stays byte-identical across machines and job counts.
+        const std::vector<double>& seconds = executor.pointSeconds();
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::cerr << "sweep: " << points[i].name << " took "
+                      << seconds[i] << " s\n";
+        }
         report.printTable(std::cout);
         return 0;
     }
@@ -491,15 +580,14 @@ main(int argc, char** argv)
             "--arch", "--nodes", "--cores", "--stu-entries",
             "--stu-assoc", "--acm-bits", "--pairs", "--fabric-ns",
             "--warmup", "--threads", "--jobs", "--skew", "--churn",
-            "--stats", "--csv", "--json",
+            "--stats", "--csv", "--json", "--trace-out", "--profile",
         };
         for (int i = 1; i < argc; ++i) {
             for (const char* flag : kNoSystemFlags) {
                 if (std::strcmp(argv[i], flag) == 0) {
-                    std::cerr << "warning: " << flag
-                              << " is ignored; --record samples the "
-                                 "workload stream without building a "
-                                 "system\n";
+                    warn(flag, " is ignored; --record samples the "
+                               "workload stream without building a "
+                               "system");
                 }
             }
         }
@@ -526,8 +614,8 @@ main(int argc, char** argv)
     config.fabric.latency = fabric_ns * kNanosecond;
     config.warmupFraction = warmup;
     if (jobs < 2 && (skew > 0.0 || churn > 0)) {
-        std::cerr << "warning: --skew/--churn are ignored without "
-                     "--jobs >= 2 (single-tenant run)\n";
+        warn("--skew/--churn are ignored without --jobs >= 2 "
+             "(single-tenant run)");
     }
     config.tenancy.jobs = jobs;
     config.tenancy.zipfSkew = skew;
@@ -576,6 +664,12 @@ main(int argc, char** argv)
 
     ScopedQuietLogs quiet;
     System system(config);
+    TraceSink sink(system.traceLanes(), trace_filter);
+    Profiler prof;
+    if (!trace_out.empty())
+        system.attachTrace(&sink);
+    if (want_profile)
+        system.attachProfiler(&prof);
 
     system.run(threads);
 
@@ -595,8 +689,24 @@ main(int argc, char** argv)
     if (dump_csv)
         system.sim().stats().dumpCsv(std::cout);
     if (dump_json) {
-        system.sim().stats().dumpJson(std::cout);
+        if (want_profile) {
+            // Wrapped so the profile rides in the same JSON document;
+            // plain --json output is unchanged when --profile is off.
+            std::cout << "{\n  \"stats\": ";
+            system.sim().stats().dumpJson(std::cout, 2);
+            std::cout << ",\n  \"profile\": ";
+            prof.writeJson(std::cout, 2);
+            std::cout << "\n}\n";
+        } else {
+            system.sim().stats().dumpJson(std::cout);
+            std::cout << "\n";
+        }
+    } else if (want_profile) {
+        std::cout << "profile: ";
+        prof.writeJson(std::cout);
         std::cout << "\n";
     }
+    if (!trace_out.empty())
+        writeTraceFile(sink, trace_out);
     return 0;
 }

@@ -5,6 +5,8 @@
 
 #include "psim/parallel_sim.hh"
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
+#include "sim/trace_sink.hh"
 
 namespace famsim {
 namespace {
@@ -123,6 +125,9 @@ System::System(SystemConfig config) : config_(std::move(config)),
                                       sim_(config_.seed)
 {
     config_.finalize();
+    // Before any component constructs: the latency-breakdown
+    // histograms register (or don't) in component constructors.
+    sim_.setObservability(config_.observability);
 
     for (const MigrationEvent& ev : config_.migrations) {
         FAMSIM_ASSERT(ev.from < config_.nodes && ev.to < config_.nodes,
@@ -143,6 +148,8 @@ System::System(SystemConfig config) : config_(std::move(config)),
                                           config_.broker.sharedReserveBytes);
     acm_ = std::make_unique<AcmStore>(config_.stu.acmBits);
     media_ = std::make_unique<FamMedia>(sim_, "fam", config_.fam);
+    // Media trace lanes sit after the node lanes (psim partition order).
+    media_->setTraceLaneBase(config_.nodes);
     fabric_ = std::make_unique<FabricLink>(sim_, "fabric",
                                            config_.fabric);
     broker_ = std::make_unique<MemoryBroker>(sim_, "broker",
@@ -249,7 +256,10 @@ System::reusableAcross(const SystemConfig& a, const SystemConfig& b)
            sameProfile(fa.profile, fb.profile) &&
            sameOs(fa.os, fb.os) && sameFam(fa.fam, fb.fam) &&
            sameBroker(fa.broker, fb.broker) &&
-           fa.stu.acmBits == fb.stu.acmBits;
+           fa.stu.acmBits == fb.stu.acmBits &&
+           // Observability histograms register at construction; a
+           // reused System cannot grow (or shed) registry entries.
+           fa.observability == fb.observability;
 }
 
 bool
@@ -438,17 +448,61 @@ System::prefaultNode(unsigned index)
 }
 
 void
+System::attachTrace(TraceSink* trace)
+{
+    if (trace) {
+        FAMSIM_ASSERT(trace->lanes() == traceLanes(),
+                      "trace sink has ", trace->lanes(),
+                      " lanes; this system needs ", traceLanes());
+        for (unsigned n = 0; n < config_.nodes; ++n)
+            trace->setLaneName(n, "node" + std::to_string(n));
+        for (unsigned m = 0; m < media_->numModules(); ++m) {
+            trace->setLaneName(config_.nodes + m,
+                               "media" + std::to_string(m));
+        }
+        trace->setLaneName(traceLanes() - 1, "broker");
+    }
+    sim_.setTrace(trace);
+}
+
+std::uint32_t
+System::traceLanes() const
+{
+    // The psim partition layout: nodes, media modules, broker. The
+    // serial kernel emits on the same lane ids, so one sink layout
+    // serves both.
+    return config_.nodes + static_cast<std::uint32_t>(
+                               media_->numModules()) + 1;
+}
+
+void
+System::attachProfiler(Profiler* profiler)
+{
+    sim_.setProfiler(profiler);
+}
+
+void
 System::run(unsigned threads)
 {
     // Cadence telemetry belongs to one run; a serial run (including
     // the zero-lookahead fallback below) reports zero windows.
     parallelWindows_ = 0;
     parallelWidenedWindows_ = 0;
-    if (threads > 0) {
+    Profiler::Timer wall;
+    if (threads > 0)
         runParallel(threads);
-        return;
+    else
+        runSerial();
+    if (Profiler* prof = sim_.profiler()) {
+        prof->setThreads(threads);
+        prof->setWall(wall.seconds());
+        prof->setWindows(parallelWindows_, parallelWidenedWindows_);
     }
+}
 
+void
+System::runSerial()
+{
     finished_ = 0;
     unsigned total = config_.nodes * config_.coresPerNode;
 
@@ -518,7 +572,7 @@ System::runParallel(unsigned threads)
     if (config_.fabric.latency == 0 || config_.broker.serviceLatency == 0) {
         warn("zero cross-partition lookahead; falling back to the "
              "serial kernel");
-        run(0);
+        runSerial();
         return;
     }
     if (config_.arch == ArchKind::EFam && !config_.prefault)

@@ -121,6 +121,16 @@ struct SystemConfig {
     /** Fraction of instructions treated as warmup (stats discarded). */
     double warmupFraction = 0.1;
 
+    /**
+     * Register the per-stage latency-breakdown histograms (STU queue
+     * wait, translation, fabric, media service — with JSON
+     * percentiles). Off by default: the stats registry, and with it
+     * every pre-existing golden, is bit-identical to a build without
+     * the observability layer. Orthogonal to tracing/profiling, which
+     * attach per-run (System::attachTrace / attachProfiler).
+     */
+    bool observability = false;
+
     /** Apply the architecture-specific derived settings. */
     void finalize();
 };
@@ -237,6 +247,25 @@ class System
         return parallelWidenedWindows_;
     }
 
+    /**
+     * Attach a Chrome trace sink for subsequent run() calls (null
+     * detaches). The sink must have one lane per psim partition —
+     * nodes + FAM media modules + 1 — see traceLanes(); this also
+     * names the lanes. Caller keeps ownership and must outlive the
+     * run.
+     */
+    void attachTrace(TraceSink* trace);
+
+    /** Lane count a TraceSink for this System needs. */
+    [[nodiscard]] std::uint32_t traceLanes() const;
+
+    /**
+     * Attach a wall-clock profiler for subsequent run() calls (null
+     * detaches). Caller keeps ownership; results are host-timing and
+     * nondeterministic (see sim/profiler.hh).
+     */
+    void attachProfiler(Profiler* profiler);
+
     [[nodiscard]] Simulation& sim() { return sim_; }
     [[nodiscard]] const SystemConfig& config() const { return config_; }
     [[nodiscard]] NodeParts& node(unsigned i) { return *nodes_[i]; }
@@ -255,6 +284,7 @@ class System
      */
     void wireNode(unsigned index);
     void prefaultNode(unsigned index);
+    void runSerial();
     void runParallel(unsigned threads);
     /**
      * Run one scheduled migration: rebind at the broker, then refresh

@@ -1,6 +1,7 @@
 #include "deact/fam_translator.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace famsim {
 
@@ -27,6 +28,10 @@ FamTranslator::FamTranslator(Simulation& sim, const std::string& name,
       invalidations_(statCounter("invalidations",
                                  "cache shootdowns (migration)"))
 {
+    obsLookup_ = obsHistogram(
+        "obs_lookup_ns",
+        "ns per translation-cache lookup: DRAM line fetch + tag match "
+        "(observability)", 16, 32);
     // The STU sends mapping responses here (step 5, Fig. 6).
     stu_.setMappingListener(
         [this](std::uint64_t npa_page, std::uint64_t fam_page) {
@@ -74,9 +79,20 @@ FamTranslator::startLookup(const PktPtr& pkt)
     // Fetch the 64 B translation-cache line from local DRAM (step 2).
     ++lookups_;
     ++dramReads_;
-    readDram(pkt->npa.pageNumber(), MemOp::Read, [this, pkt] {
-        sim_.events().scheduleAfter(params_.tagMatchLatency,
-                                    [this, pkt] { finishLookup(pkt); });
+    Tick start = sim_.curTick();
+    readDram(pkt->npa.pageNumber(), MemOp::Read, [this, pkt, start] {
+        sim_.events().scheduleAfter(
+            params_.tagMatchLatency, [this, pkt, start] {
+                Tick now = sim_.curTick();
+                if (obsLookup_)
+                    obsLookup_->sample((now - start) / kNanosecond);
+                if (TraceSink* trace = sim_.trace();
+                    trace && trace->wants(TraceSink::kPacket)) {
+                    trace->span(TraceSink::kPacket, stu_.node(),
+                                "translator.lookup", start, now);
+                }
+                finishLookup(pkt);
+            });
     });
 }
 

@@ -115,6 +115,8 @@ class FamTranslator : public Component, public MemSink
     Counter& coalesced_;
     Counter& stalls_;
     Counter& invalidations_;
+    /** Lookup-latency histogram (observability); null when off. */
+    Histogram* obsLookup_ = nullptr;
 };
 
 } // namespace famsim

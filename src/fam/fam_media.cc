@@ -2,6 +2,7 @@
 
 #include "psim/parallel_sim.hh"
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace famsim {
 
@@ -38,6 +39,10 @@ FamMedia::FamMedia(Simulation& sim, const std::string& name,
     for (unsigned i = 0; i < params.modules; ++i) {
         modules_.push_back(std::make_unique<BankedMemory>(
             sim, name + ".module" + std::to_string(i), params.nvm));
+        obsFabric_.push_back(obsHistogram(
+            "module" + std::to_string(i) + ".obs_fabric_ns",
+            "ns from STU fabric hand-off to module arrival "
+            "(observability)", 16, 64));
     }
 }
 
@@ -69,6 +74,32 @@ FamMedia::access(const PktPtr& pkt)
       case PacketKind::Bitmap: ++at_; ++bitmap_; break;
       case PacketKind::NodePtw: ++at_; ++nodePtw_; break;
       case PacketKind::Broker: ++at_; ++broker_; break;
+    }
+
+    // tsFabricReq is only stamped on the STU paths; broker bookkeeping
+    // and node-PTW packets reach the media without crossing that hop
+    // and are excluded from the fabric-stage breakdown.
+    Tick now = sim_.curTick();
+    if (pkt->tsFabricReq != 0 && obsFabric_[module])
+        obsFabric_[module]->sample((now - pkt->tsFabricReq) /
+                                   kNanosecond);
+    if (TraceSink* trace = sim_.trace();
+        trace && trace->wants(TraceSink::kPacket)) {
+        std::uint32_t lane = traceLaneBase_ + module;
+        if (pkt->tsFabricReq != 0)
+            trace->span(TraceSink::kPacket, lane, "fabric.req",
+                        pkt->tsFabricReq, now);
+        // Service span: wrap the completion so the span closes when
+        // the module finishes. The completion runs on this module's
+        // partition, so the lane stays writer-exclusive.
+        auto orig = std::move(pkt->onDone);
+        pkt->onDone = [this, lane, now,
+                       orig = std::move(orig)](Packet& p) mutable {
+            sim_.trace()->span(TraceSink::kPacket, lane, "media.access",
+                               now, sim_.curTick());
+            if (orig)
+                orig(p);
+        };
     }
 
     modules_[module]->access(pkt, addr);

@@ -82,6 +82,13 @@ class FamMedia : public Component
             module->resetTiming();
     }
 
+    /**
+     * Base trace-lane id of module 0 (= node count: media lanes sit
+     * after the node lanes, mirroring the psim partition layout). Set
+     * once by System; module @c m emits on lane base + m.
+     */
+    void setTraceLaneBase(std::uint32_t base) { traceLaneBase_ = base; }
+
     /** Total requests observed (for Fig. 4 / Fig. 11 percentages). */
     [[nodiscard]] std::uint64_t totalRequests() const
     {
@@ -110,6 +117,14 @@ class FamMedia : public Component
     // the default hot path carries no extra bump.
     JobStatTable* jobRequests_ = nullptr;
     JobStatTable* jobAt_ = nullptr;
+    /**
+     * Per-module fabric-latency histograms (observability); empty when
+     * off. Per module — not one shared Histogram — because each module
+     * samples from its own psim partition and Histogram is not
+     * thread-safe.
+     */
+    std::vector<Histogram*> obsFabric_;
+    std::uint32_t traceLaneBase_ = 0;
 };
 
 } // namespace famsim

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace famsim {
 
@@ -59,14 +60,17 @@ SweepExecutor::runScenarioJsons(const std::vector<Scenario>& points,
 {
     std::vector<std::string> out(points.size());
     std::vector<std::exception_ptr> errors(points.size());
+    pointSeconds_.assign(points.size(), 0.0);
     pool_.runEpochIndexed(points.size(),
                           [&](std::size_t worker, std::size_t task) {
         try {
             ScopedQuietLogs quiet;
+            Profiler::Timer timer;
             std::ostringstream os;
             System& system = systemFor(worker, points[task].config);
             writeScenarioJson(os, points[task], system, threads);
             out[task] = os.str();
+            pointSeconds_[task] = timer.seconds();
         } catch (...) {
             // A failure may have left the cached System mid-run;
             // never reuse it.
@@ -87,12 +91,15 @@ SweepExecutor::runResults(const std::vector<SystemConfig>& configs,
 {
     std::vector<RunResult> out(configs.size());
     std::vector<std::exception_ptr> errors(configs.size());
+    pointSeconds_.assign(configs.size(), 0.0);
     pool_.runEpochIndexed(configs.size(),
                           [&](std::size_t worker, std::size_t task) {
         try {
+            Profiler::Timer timer;
             System& system = systemFor(worker, configs[task]);
             system.run(threads);
             out[task] = summarize(system);
+            pointSeconds_[task] = timer.seconds();
         } catch (...) {
             workerSystems_[worker].reset();
             errors[task] = std::current_exception();

@@ -95,6 +95,17 @@ class SweepExecutor
         return systemsReused_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Host wall-clock seconds of each point of the last
+     * runScenarioJsons/runResults call, in slot order (build/reset +
+     * run + export). Host timings: report them (stderr, profiles) but
+     * never put them in golden-compared output.
+     */
+    [[nodiscard]] const std::vector<double>& pointSeconds() const
+    {
+        return pointSeconds_;
+    }
+
   private:
     /**
      * The cached System of @p worker, reset or rebuilt for @p config
@@ -107,6 +118,9 @@ class SweepExecutor
     std::vector<std::unique_ptr<System>> workerSystems_;
     std::atomic<std::uint64_t> systemsBuilt_{0};
     std::atomic<std::uint64_t> systemsReused_{0};
+    /** Per-point wall seconds of the last batch (slot-ordered; each
+     *  task writes only its own slot, so no synchronization needed). */
+    std::vector<double> pointSeconds_;
 };
 
 } // namespace famsim

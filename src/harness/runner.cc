@@ -82,6 +82,21 @@ threadsFromEnv(unsigned fallback)
     return fallback;
 }
 
+std::string
+traceFromEnv()
+{
+    if (const char* env = std::getenv("FAMSIM_TRACE"))
+        return env;
+    return {};
+}
+
+bool
+profileFromEnv()
+{
+    const char* env = std::getenv("FAMSIM_PROFILE");
+    return env && *env != '\0' && std::string(env) != "0";
+}
+
 unsigned
 sweepJobsFromEnv(unsigned fallback)
 {

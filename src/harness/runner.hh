@@ -70,6 +70,22 @@ makeConfig(const StreamProfile& profile, ArchKind arch,
  */
 [[nodiscard]] unsigned sweepJobsFromEnv(unsigned fallback = 1);
 
+/**
+ * Chrome-trace output path requested via the FAMSIM_TRACE environment
+ * variable (famsim_cli --trace-out overrides it); empty when unset.
+ * Read only by the CLI, benches and tests — the library itself never
+ * consults the environment.
+ */
+[[nodiscard]] std::string traceFromEnv();
+
+/**
+ * Whether wall-clock profiling was requested via the FAMSIM_PROFILE
+ * environment variable (famsim_cli --profile overrides it): set and
+ * neither empty nor "0". Same CLI/bench/test-only contract as
+ * traceFromEnv().
+ */
+[[nodiscard]] bool profileFromEnv();
+
 /** Geometric mean (ignores non-positive values defensively). */
 [[nodiscard]] double geomean(const std::vector<double>& values);
 

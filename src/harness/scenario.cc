@@ -12,6 +12,7 @@
 
 #include "harness/runner.hh"
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 
 namespace famsim {
 
@@ -167,6 +168,35 @@ buildPaperRegistry()
             "fig12_performance",
             "End-to-end performance, system IPC (paper Fig. 12)",
             "ipc", "mcf", arch));
+    }
+
+    // Observability-layer locks (no paper counterpart — the ROADMAP's
+    // observability axis). `.base` pins the Chrome-trace substrate: no
+    // warmup, so the serial and parallel kernels share one schedule
+    // and the trace byte-identity test can include --threads 0
+    // alongside {1, 4}. `.observed` turns the latency-breakdown
+    // histograms on, pinning the percentile-capable stats JSON; every
+    // other scenario keeps observability off, proving the layer is
+    // inert by default.
+    {
+        Scenario s = makeScenario(
+            "fig12_performance",
+            "Fig. 12 DeACT-N point without warmup (trace-determinism "
+            "substrate: serial == parallel schedule)",
+            "ipc", "mcf", ArchKind::DeactN);
+        s.name = "fig12_performance.base";
+        s.config.warmupFraction = 0.0;
+        reg.add(std::move(s));
+    }
+    {
+        Scenario s = makeScenario(
+            "fig12_performance",
+            "Fig. 12 DeACT-N point with the latency-breakdown "
+            "histograms registered (observability layer lock)",
+            "ipc", "mcf", ArchKind::DeactN);
+        s.name = "fig12_performance.observed";
+        s.config.observability = true;
+        reg.add(std::move(s));
     }
 
     // Trace-replay frontend locks (no paper counterpart — the
@@ -376,7 +406,8 @@ soloCacheKey(const SystemConfig& c, unsigned threads)
         os << ev.atInstruction << sep << ev.from << sep << ev.to << sep
            << ev.useLogicalIds << sep;
     }
-    os << c.prefault << sep << c.warmupFraction << sep << threads;
+    os << c.prefault << sep << c.warmupFraction << sep
+       << c.observability << sep << threads;
     return os.str();
 }
 
@@ -594,6 +625,16 @@ writeScenarioJson(std::ostream& os, const Scenario& scenario,
 
     os << ",\n  \"stats\": ";
     system.sim().stats().dumpJson(os, 2);
+
+    // Host wall-clock profile, only when the caller attached a
+    // Profiler (famsim_cli --profile). Golden runs and the sweep
+    // executor never attach one, so the deterministic export above is
+    // byte-identical with or without this feature compiled in.
+    if (const Profiler* prof = system.sim().profiler()) {
+        os << ",\n  \"profile\": ";
+        prof->writeJson(os, 2);
+    }
+
     os << "\n}";
 }
 

@@ -21,6 +21,10 @@ BankedMemory::BankedMemory(Simulation& sim, const std::string& name,
                              /*bucket_width=*/25, /*buckets=*/32))
 {
     FAMSIM_ASSERT(params.banks > 0, "memory must have at least one bank");
+    obsService_ = obsHistogram(
+        "obs_service_ns",
+        "ns from bank dispatch to completion: bank wait + device "
+        "latency (observability)", 25, 32);
 }
 
 void
@@ -56,6 +60,8 @@ BankedMemory::start(const PktPtr& pkt, std::uint64_t addr)
     if (pkt->isTranslation())
         ++atReads_;
     latency_.sample((done - now) / kNanosecond);
+    if (obsService_)
+        obsService_->sample((done - now) / kNanosecond);
 
     sim_.events().schedule(done, [this, pkt] { finish(pkt); });
 }

@@ -91,6 +91,12 @@ class BankedMemory : public Component
     Counter& atReads_;
     Counter& queued_;
     Histogram& latency_;
+    /**
+     * Percentile-capable service-time histogram (observability); null
+     * when off. Unlike latency_ it excludes the front-door wait, so it
+     * isolates bank occupancy + device latency.
+     */
+    Histogram* obsService_ = nullptr;
 };
 
 } // namespace famsim

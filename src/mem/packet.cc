@@ -101,6 +101,8 @@ makePacket(NodeId node, CoreId core, MemOp op, PacketKind kind)
         pkt->accessGranted = false;
         pkt->writeback = false;
         pkt->issued = 0;
+        pkt->tsStu = 0;
+        pkt->tsFabricReq = 0;
     }
     pkt->id = next_id++;
     pkt->node = node;

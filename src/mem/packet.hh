@@ -100,6 +100,18 @@ struct Packet {
     Tick issued = 0;
 
     /**
+     * Observability stage stamps (sim-time, deterministic): arrival at
+     * the STU and hand-off to the fabric toward FAM. Stamped
+     * unconditionally (a branch-free store is cheaper than a
+     * well-predicted branch here) but only *read* when a TraceSink or
+     * the observability histograms are attached — they feed the
+     * per-stage latency breakdown and the packet-lifecycle trace
+     * spans, never simulated behavior.
+     */
+    Tick tsStu = 0;
+    Tick tsFabricReq = 0;
+
+    /**
      * Completion callback, invoked exactly once when the access ends.
      * Inline storage holds the pipeline's plain captures (component
      * pointers, PktPtrs, the walker's step-list continuation) without

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace famsim {
 
@@ -215,7 +216,14 @@ Core::issueMemOp(const MemOpDesc& op, NPAddr npa)
     pkt->npa = npa;
     pkt->issued = localTime_;
     bool blocking = op.blocking;
-    pkt->onDone = [this, blocking](Packet&) {
+    pkt->onDone = [this, blocking](Packet& p) {
+        // Packet lifecycle span: issue -> completion, on the owning
+        // node's trace lane (the handler runs on that partition).
+        if (TraceSink* trace = sim_.trace();
+            trace && trace->wants(TraceSink::kPacket)) {
+            trace->span(TraceSink::kPacket, node_, "core.op", p.issued,
+                        sim_.curTick());
+        }
         onMemComplete(blocking, sim_.curTick());
     };
     ++outstanding_;

@@ -83,8 +83,10 @@ class NodeQueue
     /**
      * Merge every inbound post into the local queue (owning worker,
      * right after a barrier), in (tick, srcPartition, seq) order.
+     * @return messages merged (the trace's per-partition "drained"
+     * counter track).
      */
-    void
+    std::uint64_t
     drainInboxes()
     {
         scratch_.clear();
@@ -105,6 +107,7 @@ class NodeQueue
         }
         for (auto& lane : postIn_)
             lane.clear();
+        return static_cast<std::uint64_t>(scratch_.size());
     }
 
   private:

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/profiler.hh"
+#include "sim/trace_sink.hh"
+
 namespace famsim {
 namespace {
 
@@ -281,17 +284,48 @@ ParallelSim::windowBounds() const
 std::uint64_t
 ParallelSim::run()
 {
+    // Observability hooks, hoisted out of the loop: both resolve to
+    // null pointers in the (near-universal) untraced/unprofiled case,
+    // so the per-window cost when off is a handful of predictable
+    // branches.
+    TraceSink* trace = sim_.trace();
+    if (trace && !trace->wants(TraceSink::kPsim))
+        trace = nullptr;
+    Profiler* prof = sim_.profiler();
+    if (prof)
+        prof->setPartitions(partitions());
+    // Last emitted per-partition cumulative executed count, so the
+    // counter track only gets a point when the value moved.
+    std::vector<std::uint64_t> executedSeen;
+    if (trace)
+        executedSeen.assign(parts_.size(), 0);
+
     for (;;) {
+        Profiler::Timer coord;
         collectGlobalOps();
         // Arbitrate all queued fabric sends first: the deliveries land
         // on their destination queues, so the window scan below sees
         // real delivery ticks instead of conservative floors.
         drainArbitrated();
         SyncWindow::Bounds bounds = windowBounds();
-        if (bounds.start == EventQueue::kForever)
+        if (bounds.start == EventQueue::kForever) {
+            if (prof)
+                prof->addCoordinator(coord.seconds());
             break;
+        }
         auto [start, end] = window_.open(bounds.start, bounds.end);
         runGlobalOpsThrough(start);
+        if (prof)
+            prof->addCoordinator(coord.seconds());
+        if (trace) {
+            // One span per window on the broker lane (the
+            // coordinator's home); arg = 1 when the adaptive horizon
+            // widened past the base lookahead.
+            const bool widened =
+                end > SyncWindow::satAdd(start, window_.lookahead());
+            trace->span(TraceSink::kPsim, brokerPartition(),
+                        "psim.window", start, end, widened ? 1 : 0);
+        }
         // Two phases per window, each a full barrier. Drains must not
         // overlap execution: a partition already running the new
         // window would otherwise append to the very lanes another
@@ -299,12 +333,40 @@ ParallelSim::run()
         // producer is quiescent while its messages are consumed — the
         // property that lets the mailboxes stay lock-free.
         pool_.runEpoch(parts_.size(), [&](std::size_t p) {
-            Scope scope(*this, static_cast<std::uint32_t>(p));
-            parts_[p]->drainInboxes();
+            const auto part = static_cast<std::uint32_t>(p);
+            Scope scope(*this, part);
+            std::uint64_t drained;
+            if (prof) {
+                Profiler::Timer t;
+                drained = parts_[p]->drainInboxes();
+                prof->addDrain(part, t.seconds());
+            } else {
+                drained = parts_[p]->drainInboxes();
+            }
+            // Partition-exclusive lane: only this worker, this epoch.
+            if (trace && drained > 0) {
+                trace->counter(TraceSink::kPsim, part, "psim.drained",
+                               start, drained);
+            }
         });
         pool_.runEpoch(parts_.size(), [&](std::size_t p) {
-            Scope scope(*this, static_cast<std::uint32_t>(p));
-            parts_[p]->queue().run(end - 1);
+            const auto part = static_cast<std::uint32_t>(p);
+            Scope scope(*this, part);
+            if (prof) {
+                Profiler::Timer t;
+                parts_[p]->queue().run(end - 1);
+                prof->addExec(part, t.seconds());
+            } else {
+                parts_[p]->queue().run(end - 1);
+            }
+            if (trace) {
+                const std::uint64_t total = parts_[p]->queue().executed();
+                if (total > executedSeen[p]) {
+                    trace->counter(TraceSink::kPsim, part,
+                                   "psim.executed", end - 1, total);
+                    executedSeen[p] = total;
+                }
+            }
         });
     }
     std::uint64_t executed = 0;

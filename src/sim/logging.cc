@@ -1,8 +1,11 @@
 #include "sim/logging.hh"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <mutex>
 
 namespace famsim {
 namespace {
@@ -13,6 +16,41 @@ namespace {
 // golden-pinned). Atomics keep the concurrent ctor/dtor bumps defined.
 std::atomic<int> throw_depth{0};
 std::atomic<int> quiet_depth{0};
+
+/**
+ * Process-wide warn() dedup: the first occurrence of each message
+ * prints, repeats are only counted, and the counts are reported once
+ * at process exit. Pooled sweeps would otherwise emit the same
+ * ignored-flag warning once per worker per point. An ordered map so
+ * the exit-time report is deterministic regardless of which thread
+ * warned first.
+ */
+struct WarnLedger
+{
+    std::mutex mu;
+    std::map<std::string, std::uint64_t> repeats;
+
+    ~WarnLedger()
+    {
+        // Runs during static destruction; std::cerr outlives this
+        // object because including <iostream> above ties stream
+        // lifetime to this translation unit (ios_base::Init).
+        for (const auto& [message, count] : repeats) {
+            if (count > 0) {
+                std::cerr << "warn: suppressed " << count << " repeat"
+                          << (count == 1 ? "" : "s") << " of: "
+                          << message << std::endl;
+            }
+        }
+    }
+};
+
+WarnLedger&
+warnLedger()
+{
+    static WarnLedger ledger;
+    return ledger;
+}
 
 } // namespace
 
@@ -49,8 +87,17 @@ fatalImpl(const char* file, int line, const std::string& message)
 void
 warnImpl(const std::string& message)
 {
-    if (quiet_depth == 0)
+    // Quiet scopes drop without counting: a bench that silenced its
+    // workers should not resurface their warnings at exit.
+    if (quiet_depth > 0)
+        return;
+    WarnLedger& ledger = warnLedger();
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    auto [it, fresh] = ledger.repeats.emplace(message, 0);
+    if (fresh)
         std::cerr << "warn: " << message << std::endl;
+    else
+        ++it->second;
 }
 
 void

@@ -7,6 +7,10 @@
  * fatal()  — the simulation cannot continue because of a user error
  *            (bad configuration, invalid parameters); exits with code 1.
  * warn()   — something is modelled approximately; simulation continues.
+ *            Repeats of the same message are rate-limited: the first
+ *            occurrence prints, the rest are counted and reported as
+ *            one "suppressed N repeats" line at process exit, so
+ *            pooled sweeps don't emit one copy per worker per point.
  * inform() — status messages, no connotation of incorrect behaviour.
  *
  * In unit tests, panic/fatal can be redirected to throw exceptions so

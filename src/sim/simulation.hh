@@ -25,6 +25,8 @@
 namespace famsim {
 
 class ParallelSim; // src/psim/parallel_sim.hh
+class Profiler;    // src/sim/profiler.hh
+class TraceSink;   // src/sim/trace_sink.hh
 
 namespace detail {
 
@@ -90,6 +92,28 @@ class Simulation
     [[nodiscard]] ParallelSim* parallel() const { return parallel_; }
     void setParallel(ParallelSim* parallel) { parallel_ = parallel; }
 
+    /**
+     * The attached trace sink, or null (the near-universal case). Every
+     * emit site is a null check plus an inline category test, so an
+     * unattached sink costs one predictable branch (see DESIGN.md
+     * "Observability layer"). Attached by System::attachTrace.
+     */
+    [[nodiscard]] TraceSink* trace() const { return trace_; }
+    void setTrace(TraceSink* trace) { trace_ = trace; }
+
+    /** The attached wall-clock profiler, or null. */
+    [[nodiscard]] Profiler* profiler() const { return profiler_; }
+    void setProfiler(Profiler* profiler) { profiler_ = profiler; }
+
+    /**
+     * Whether the latency-breakdown statistics are enabled
+     * (SystemConfig::observability). Off by default so the registry —
+     * and with it every pre-existing golden — is bit-identical to a
+     * build without the observability layer.
+     */
+    [[nodiscard]] bool observability() const { return observability_; }
+    void setObservability(bool on) { observability_ = on; }
+
     /** Run the serial event loop until it drains or @p limit. */
     std::uint64_t run(Tick limit = EventQueue::kForever)
     {
@@ -118,6 +142,9 @@ class Simulation
     EventQueue events_;
     StatRegistry stats_;
     ParallelSim* parallel_ = nullptr;
+    TraceSink* trace_ = nullptr;
+    Profiler* profiler_ = nullptr;
+    bool observability_ = false;
 };
 
 /**
@@ -171,6 +198,23 @@ class Component
     {
         return sim_.stats().histogram(name_ + "." + leaf, desc,
                                       bucket_width, buckets);
+    }
+
+    /**
+     * Register an observability-gated latency-breakdown histogram
+     * (with JSON percentiles): returns null when
+     * Simulation::observability() is off, in which case nothing enters
+     * the registry — sample sites guard on the pointer. Keeps every
+     * pre-existing golden bit-identical with observability disabled.
+     */
+    Histogram*
+    obsHistogram(const std::string& leaf, const std::string& desc,
+                 std::uint64_t bucket_width = 1, std::size_t buckets = 16)
+    {
+        if (!sim_.observability())
+            return nullptr;
+        return &sim_.stats().histogramWithPercentiles(
+            name_ + "." + leaf, desc, bucket_width, buckets);
     }
 
     /** Register a per-job counter table under this component's prefix. */

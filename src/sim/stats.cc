@@ -97,6 +97,26 @@ Histogram::bucket(std::size_t i) const
     return counts_[i];
 }
 
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    FAMSIM_ASSERT(p > 0.0 && p <= 1.0,
+                  "percentile fraction must be in (0, 1]");
+    if (samples_ == 0)
+        return 0;
+    // Nearest rank: the ceil(p * samples)-th smallest sample, resolved
+    // to its bucket's lower edge.
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(samples_)));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cumulative += counts_[i];
+        if (cumulative >= rank)
+            return static_cast<std::uint64_t>(i) * bucketWidth_;
+    }
+    return static_cast<std::uint64_t>(counts_.size() - 1) * bucketWidth_;
+}
+
 Counter&
 StatRegistry::counter(const std::string& name, const std::string& desc)
 {
@@ -155,6 +175,17 @@ StatRegistry::histogram(const std::string& name, const std::string& desc,
     return *entry.histogram;
 }
 
+Histogram&
+StatRegistry::histogramWithPercentiles(const std::string& name,
+                                       const std::string& desc,
+                                       std::uint64_t bucket_width,
+                                       std::size_t buckets)
+{
+    Histogram& h = histogram(name, desc, bucket_width, buckets);
+    entries_[name].percentiles = true;
+    return h;
+}
+
 JobStatTable&
 StatRegistry::jobTable(const std::string& name, const std::string& desc,
                        unsigned jobs)
@@ -183,7 +214,11 @@ StatRegistry::get(const std::string& name) const
         return static_cast<double>(count);
     if (it->second.scalar)
         return it->second.scalar->value();
-    FAMSIM_PANIC("stat '", name, "' has no scalar value");
+    if (it->second.histogram)
+        return it->second.histogram->mean();
+    FAMSIM_PANIC("stat '", name,
+                 "' has an unsupported kind for get() (per-job tables "
+                 "have no single value)");
 }
 
 bool
@@ -304,7 +339,12 @@ StatRegistry::dumpJson(std::ostream& os, int indent) const
             const Histogram& h = *entry.histogram;
             os << "{\"samples\": " << h.samples() << ", \"mean\": ";
             json::writeNumber(os, h.mean());
-            os << ", \"max\": " << h.max() << ", \"buckets\": [";
+            os << ", \"max\": " << h.max();
+            if (entry.percentiles) {
+                os << ", \"p50\": " << h.p50() << ", \"p95\": "
+                   << h.p95() << ", \"p99\": " << h.p99();
+            }
+            os << ", \"buckets\": [";
             for (std::size_t i = 0; i < h.numBuckets(); ++i)
                 os << (i ? ", " : "") << h.bucket(i);
             os << "]}";

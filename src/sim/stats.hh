@@ -164,6 +164,18 @@ class Histogram
     [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
     [[nodiscard]] std::size_t numBuckets() const { return counts_.size(); }
 
+    /**
+     * Nearest-rank percentile over the bucketed distribution:
+     * the lower edge of the first bucket whose cumulative count
+     * reaches ceil(p * samples). Exact for bucket_width == 1
+     * distributions (each bucket is one value); otherwise quantized to
+     * the bucket edge. 0 when the histogram is empty. @p p in (0, 1].
+     */
+    [[nodiscard]] std::uint64_t percentile(double p) const;
+    [[nodiscard]] std::uint64_t p50() const { return percentile(0.50); }
+    [[nodiscard]] std::uint64_t p95() const { return percentile(0.95); }
+    [[nodiscard]] std::uint64_t p99() const { return percentile(0.99); }
+
   private:
     std::uint64_t bucketWidth_;
     std::vector<std::uint64_t> counts_;
@@ -193,13 +205,30 @@ class StatRegistry
                          std::uint64_t bucket_width = 1,
                          std::size_t buckets = 16);
     /**
+     * Create (or fetch) a histogram whose JSON dump additionally
+     * carries p50/p95/p99 percentile keys. A separate registration
+     * flavor so the plain-histogram JSON shape (and with it every
+     * pre-existing golden) never changes; used by the
+     * observability-gated latency-breakdown histograms
+     * (Component::obsHistogram).
+     */
+    Histogram& histogramWithPercentiles(const std::string& name,
+                                        const std::string& desc,
+                                        std::uint64_t bucket_width = 1,
+                                        std::size_t buckets = 16);
+    /**
      * Create (or fetch) a per-job counter table with @p jobs slots.
      * Re-registering must use the same slot count.
      */
     JobStatTable& jobTable(const std::string& name, const std::string& desc,
                            unsigned jobs);
 
-    /** Value lookup by full name; counters and scalars only. */
+    /**
+     * Value lookup by full name: counters and shared counters return
+     * their count, scalars their value, histograms their mean. Unknown
+     * names and unsupported kinds (per-job tables have no single
+     * value) panic rather than returning something misleading.
+     */
     [[nodiscard]] double get(const std::string& name) const;
     /** Whether a statistic with this exact name exists. */
     [[nodiscard]] bool has(const std::string& name) const;
@@ -238,6 +267,8 @@ class StatRegistry
         std::unique_ptr<Scalar> scalar;
         std::unique_ptr<Histogram> histogram;
         std::unique_ptr<JobStatTable> jobs;
+        /** Emit p50/p95/p99 in dumpJson (histogramWithPercentiles). */
+        bool percentiles = false;
 
         /** Integer value of the counter flavor held, if any. */
         [[nodiscard]] bool

@@ -1,0 +1,114 @@
+#include "sim/trace_sink.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace famsim {
+
+TraceSink::TraceSink(std::uint32_t lanes, unsigned categories)
+    : categories_(categories), lanes_(lanes)
+{
+    FAMSIM_ASSERT(lanes > 0, "trace sink needs at least one lane");
+}
+
+void
+TraceSink::setLaneName(std::uint32_t lane, std::string name)
+{
+    lanes_[lane].name = std::move(name);
+}
+
+std::uint64_t
+TraceSink::size() const
+{
+    std::uint64_t total = 0;
+    for (const Lane& lane : lanes_)
+        total += lane.events.size();
+    return total;
+}
+
+namespace {
+
+/** Microsecond timestamp: ticks are picoseconds. */
+void
+writeMicros(std::ostream& os, Tick ticks)
+{
+    json::writeNumber(os, static_cast<double>(ticks) / 1e6);
+}
+
+} // namespace
+
+void
+TraceSink::write(std::ostream& os) const
+{
+    std::vector<Event> all;
+    all.reserve(size());
+    for (const Lane& lane : lanes_)
+        all.insert(all.end(), lane.events.begin(), lane.events.end());
+
+    // Content order: (ts, lane, phase, name, dur, arg), the per-lane
+    // emission index last as a pure stability tie-break. Names compare
+    // by content (strcmp), never by pointer — literal addresses vary
+    // across builds and ASLR runs, and the whole point of the sort is
+    // that equal event multisets produce equal bytes regardless of
+    // which kernel (or worker interleaving) emitted them.
+    std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+        if (a.ts != b.ts)
+            return a.ts < b.ts;
+        if (a.lane != b.lane)
+            return a.lane < b.lane;
+        if (a.ph != b.ph)
+            return a.ph < b.ph;
+        if (int c = std::strcmp(a.name, b.name); c != 0)
+            return c < 0;
+        if (a.dur != b.dur)
+            return a.dur < b.dur;
+        if (a.arg != b.arg)
+            return a.arg < b.arg;
+        return a.seq < b.seq;
+    });
+
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? "\n" : ",\n");
+        first = false;
+    };
+
+    // Metadata first: one process, one named thread per lane.
+    sep();
+    os << "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+          "\"process_name\", \"args\": {\"name\": \"famsim\"}}";
+    for (std::uint32_t lane = 0; lane < lanes(); ++lane) {
+        sep();
+        os << "{\"ph\": \"M\", \"pid\": 0, \"tid\": " << lane
+           << ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+        json::writeString(os, lanes_[lane].name.empty()
+                                  ? "lane" + std::to_string(lane)
+                                  : lanes_[lane].name);
+        os << "}}";
+    }
+
+    for (const Event& ev : all) {
+        sep();
+        os << "{\"ph\": \"" << ev.ph << "\", \"name\": \"" << ev.name
+           << "\", \"pid\": 0, \"tid\": " << ev.lane << ", \"ts\": ";
+        writeMicros(os, ev.ts);
+        if (ev.ph == 'X') {
+            os << ", \"dur\": ";
+            writeMicros(os, ev.dur);
+        }
+        if (ev.ph == 'i')
+            os << ", \"s\": \"t\"";
+        if (ev.ph == 'C' || ev.arg != 0)
+            os << ", \"args\": {\"v\": " << ev.arg << "}";
+        os << "}";
+    }
+    if (!first)
+        os << "\n";
+    os << "]}\n";
+}
+
+} // namespace famsim

@@ -1,6 +1,7 @@
 #include "stu/stu.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_sink.hh"
 
 namespace famsim {
 
@@ -37,6 +38,13 @@ Stu::Stu(Simulation& sim, const std::string& name, const StuParams& params,
       denials_(statCounter("denials", "accesses denied")),
       forwarded_(statCounter("forwarded", "requests forwarded to FAM"))
 {
+    obsQueueWait_ = obsHistogram(
+        "obs_queue_wait_ns",
+        "ns from core issue to STU arrival (observability)", 16, 32);
+    obsTranslation_ = obsHistogram(
+        "obs_translation_ns",
+        "ns from STU arrival to FAM forward: translation + access "
+        "control (observability)", 16, 64);
     if (params_.jobs > 1) {
         jobAcmLookups_ = &statJobTable(
             "job_acm_lookups", "ACM cache lookups per tenant job",
@@ -79,6 +87,11 @@ Stu::handleFromNode(const PktPtr& pkt)
 void
 Stu::receive(const PktPtr& pkt)
 {
+    // Stage stamp: arrival at the STU (unconditional store — see
+    // Packet). The queue-wait histogram covers core issue -> here.
+    pkt->tsStu = sim_.curTick();
+    if (obsQueueWait_)
+        obsQueueWait_->sample((pkt->tsStu - pkt->issued) / kNanosecond);
     if (params_.org == StuOrg::IFam) {
         handleIFam(pkt);
     } else if (pkt->verified) {
@@ -296,6 +309,11 @@ Stu::finishWalk(const PktPtr& pkt, std::uint64_t npa_page,
     }
     // Unmapped at system level: ask the broker for a page.
     ++brokerFaults_;
+    if (TraceSink* trace = sim_.trace();
+        trace && trace->wants(TraceSink::kPacket)) {
+        trace->instant(TraceSink::kPacket, node_, "stu.broker_fault",
+                       sim_.curTick());
+    }
     broker_.handleUnmapped(pkt->node, npa_page,
                            [done = std::move(done)](std::uint64_t fam) {
                                done(fam);
@@ -383,6 +401,18 @@ Stu::forwardToFam(const PktPtr& pkt)
         return;
     }
     ++forwarded_;
+    // One sample/span per forwarded packet: the stall path above
+    // re-enters, so the stalled wait is folded into the translation
+    // stage (it is STU occupancy, not fabric time).
+    Tick now = sim_.curTick();
+    if (obsTranslation_)
+        obsTranslation_->sample((now - pkt->tsStu) / kNanosecond);
+    if (TraceSink* trace = sim_.trace();
+        trace && trace->wants(TraceSink::kPacket)) {
+        trace->span(TraceSink::kPacket, node_, "stu.translate",
+                    pkt->tsStu, now);
+    }
+    pkt->tsFabricReq = now;
     bool tracked = params_.org == StuOrg::IFam && !pkt->isWrite();
     if (tracked)
         ++outstanding_;
@@ -432,6 +462,7 @@ Stu::sendFamAccess(const PktPtr& origin, FamAddr addr, MemOp op,
     pkt->fam = addr;
     pkt->hasFam = true;
     pkt->issued = sim_.curTick();
+    pkt->tsFabricReq = pkt->issued;
     pkt->onDone = [this, done = std::move(done)](Packet&) mutable {
         fabric_.sendResponse(node_,
                              [done = std::move(done)] { done(); });

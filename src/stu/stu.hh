@@ -126,6 +126,9 @@ class Stu : public Component
 
     [[nodiscard]] const StuParams& params() const { return params_; }
 
+    /** Physical node this STU serves (also its psim trace lane). */
+    [[nodiscard]] NodeId node() const { return node_; }
+
     /** Translation hit rate at the STU (I-FAM; Fig. 10). */
     [[nodiscard]] double translationHitRate() const;
     /** ACM hit rate (Fig. 9). */
@@ -215,6 +218,11 @@ class Stu : public Component
     JobStatTable* jobAcmLookups_ = nullptr;
     JobStatTable* jobAcmHits_ = nullptr;
     JobStatTable* jobDenials_ = nullptr;
+    // Latency-breakdown histograms (SystemConfig::observability); null
+    // when the observability layer is off so the hot path pays one
+    // pointer test per sample site.
+    Histogram* obsQueueWait_ = nullptr;
+    Histogram* obsTranslation_ = nullptr;
 };
 
 } // namespace famsim

@@ -37,19 +37,30 @@ done
 "$cli" --bench mcf --instr 2000 --sweep-jobs 2 \
     > /dev/null 2> "$work/warn.txt" ||
     fail "--sweep-jobs without --sweep broke the run"
-grep -q "warning: --sweep-jobs is ignored without" "$work/warn.txt" ||
+grep -q "warn: --sweep-jobs is ignored without" "$work/warn.txt" ||
     fail "missing ignored-without---sweep warning"
 
 # --- pinned modes warn about ignored config flags -------------------
 "$cli" --scenario fig14_acm_size.b16 --stu-entries 512 --threads 0 \
     > "$work/pinned.json" 2> "$work/pinned_err.txt" ||
     fail "--scenario run with an ignored flag broke"
-grep -q "warning: --stu-entries is ignored" "$work/pinned_err.txt" ||
+grep -q "warn: --stu-entries is ignored" "$work/pinned_err.txt" ||
     fail "missing pinned-flag warning for --stu-entries"
 "$cli" --scenario fig14_acm_size.b16 --threads 0 > "$work/plain.json" \
     2> /dev/null
 cmp -s "$work/pinned.json" "$work/plain.json" ||
     fail "the ignored flag changed the pinned scenario output"
+
+# --- repeated warns are rate-limited to one line + a final count ----
+"$cli" --scenario fig14_acm_size.b16 --stu-entries 512 \
+    --stu-entries 256 --threads 0 > /dev/null 2> "$work/dedup_err.txt" ||
+    fail "repeated ignored flag broke the run"
+count=$(grep -c "warn: --stu-entries is ignored" "$work/dedup_err.txt")
+[ "$count" -eq 1 ] ||
+    fail "repeated warn printed $count times, expected once"
+grep -q "warn: suppressed 1 repeat of: --stu-entries is ignored" \
+    "$work/dedup_err.txt" ||
+    fail "missing suppressed-repeats line for the duplicated flag"
 
 # --- sweep JSON is byte-identical for every job count ---------------
 "$cli" --sweep fig14_acm_size --json --sweep-jobs 1 \

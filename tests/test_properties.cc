@@ -102,6 +102,27 @@ INSTANTIATE_TEST_SUITE_P(
                       "sp"),
     [](const auto& info) { return info.param; });
 
+TEST(StatLookup, GetResolvesHistogramsAndRejectsJobTables)
+{
+    // get() must cover every single-valued stat kind a real system
+    // registers — histograms resolve to their mean — and panic on
+    // per-job tables instead of returning a misleading value.
+    ScopedQuietLogs quiet;
+    SystemConfig config = scaled(profiles::byName("mcf"),
+                                 ArchKind::DeactN);
+    config.tenancy.jobs = 2;
+    System system(config);
+    system.run();
+    const auto& stats = system.sim().stats();
+
+    ASSERT_TRUE(stats.has("node0.dram.latency_ns"));
+    EXPECT_GT(stats.get("node0.dram.latency_ns"), 0.0);
+
+    ASSERT_TRUE(stats.has("node0.stu.job_acm_lookups"));
+    ScopedThrowOnError throw_on_error;
+    EXPECT_THROW((void)stats.get("node0.stu.job_acm_lookups"), SimError);
+}
+
 // ----------------------------------------------------------- geomean
 
 TEST(Geomean, MatchesClosedFormAndSkipsNonPositives)

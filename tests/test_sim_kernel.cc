@@ -68,6 +68,20 @@ TEST(Stats, UnknownStatPanics)
     EXPECT_FALSE(reg.has("nope"));
 }
 
+TEST(Stats, GetResolvesHistogramMeanAndRejectsJobTables)
+{
+    ScopedThrowOnError guard;
+    StatRegistry reg;
+    Histogram& h = reg.histogram("lat", "a histogram", 10, 4);
+    h.sample(5);
+    h.sample(15);
+    EXPECT_DOUBLE_EQ(reg.get("lat"), 10.0);
+    // A per-job table has no single value; get() must panic rather
+    // than silently pick a slot.
+    reg.jobTable("per_job", "a table", 2).add(0, 3);
+    EXPECT_THROW((void)reg.get("per_job"), SimError);
+}
+
 TEST(Stats, SumMatchingAddsSuffixes)
 {
     StatRegistry reg;
@@ -89,6 +103,64 @@ TEST(Stats, HistogramMeanMaxAndSaturation)
     EXPECT_EQ(h.bucket(0), 1u);
     EXPECT_EQ(h.bucket(1), 1u);
     EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Stats, PercentilesExactForUnitBuckets)
+{
+    // bucket_width 1: every bucket holds exactly one value, so the
+    // nearest-rank percentile is exact (the contract obsHistogram's
+    // latency breakdowns rely on for narrow distributions).
+    Histogram h(1, 101);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.p50(), 50u);
+    EXPECT_EQ(h.p95(), 95u);
+    EXPECT_EQ(h.p99(), 99u);
+    EXPECT_EQ(h.percentile(0.01), 1u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Stats, PercentilesQuantizeToBucketLowerEdge)
+{
+    Histogram h(10, 4); // [0,10) [10,20) [20,30) [30,inf)
+    h.sample(5);
+    h.sample(15);
+    h.sample(25);
+    h.sample(1000); // saturates into the last bucket
+    EXPECT_EQ(h.p50(), 10u);  // rank 2 lands in the [10,20) bucket
+    EXPECT_EQ(h.p99(), 30u);  // rank 4: the saturation bucket's edge
+    EXPECT_EQ(h.percentile(0.25), 0u);
+}
+
+TEST(Stats, PercentilesOfEmptyHistogramAreZero)
+{
+    Histogram h(10, 4);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p95(), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Stats, PercentileFlavorAddsKeysOnlyWhereRegistered)
+{
+    // The plain histogram JSON shape is golden-pinned; only the
+    // histogramWithPercentiles flavor may carry the p50/p95/p99 keys.
+    StatRegistry reg;
+    reg.histogram("plain.lat", "plain", 1, 4).sample(2);
+    reg.histogramWithPercentiles("obs.lat", "flagged", 1, 4).sample(2);
+    const std::string json = reg.jsonString();
+    const std::size_t plain = json.find("plain.lat");
+    const std::size_t obs = json.find("obs.lat");
+    ASSERT_NE(plain, std::string::npos);
+    ASSERT_NE(obs, std::string::npos);
+    // obs.lat sorts before plain.lat; its percentile keys must appear
+    // between the two names, and none after plain.lat.
+    const std::size_t p50 = json.find("\"p50\": 2");
+    ASSERT_NE(p50, std::string::npos);
+    EXPECT_LT(obs, p50);
+    EXPECT_LT(p50, plain);
+    EXPECT_EQ(json.find("\"p50\"", plain), std::string::npos);
+    EXPECT_NE(json.find("\"p95\": 2", obs), std::string::npos);
+    EXPECT_NE(json.find("\"p99\": 2", obs), std::string::npos);
 }
 
 TEST(Stats, DumpContainsNamesAndValues)
