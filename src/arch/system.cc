@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "psim/parallel_sim.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/profiler.hh"
 #include "sim/trace_sink.hh"
@@ -109,6 +110,9 @@ SystemConfig::finalize()
     // FAM capacity and module count scale with the node count (§V-D4:
     // memory pools proportional to nodes).
     fam.modules = nodes;
+    // Media partitions sit after the node partitions in the psim
+    // layout; the base feeds the FAMSIM_CHECK per-module owner stamps.
+    fam.partitionBase = nodes;
     fam.capacityBytes = std::uint64_t{16} << 30;
     fam.capacityBytes *= nodes;
 
@@ -152,9 +156,17 @@ System::System(SystemConfig config) : config_(std::move(config)),
     media_->setTraceLaneBase(config_.nodes);
     fabric_ = std::make_unique<FabricLink>(sim_, "fabric",
                                            config_.fabric);
-    broker_ = std::make_unique<MemoryBroker>(sim_, "broker",
-                                             config_.broker, *layout_,
-                                             *acm_, media_.get());
+    {
+        // The broker's stats belong to the broker partition (last in
+        // the psim layout); in parallel runs they are only bumped by
+        // barrier ops, which the checker's Barrier phase permits. The
+        // fabric stays unstamped: its counters are bumped from the
+        // coordinator's arbitration sections in both kernels.
+        check::WiringScope wire(config_.nodes + config_.fam.modules);
+        broker_ = std::make_unique<MemoryBroker>(sim_, "broker",
+                                                 config_.broker, *layout_,
+                                                 *acm_, media_.get());
+    }
 
     for (unsigned n = 0; n < config_.nodes; ++n)
         broker_->registerNode(static_cast<NodeId>(n));
@@ -313,6 +325,9 @@ System::reset(SystemConfig next)
 void
 System::buildNode(unsigned index)
 {
+    // Everything registered while building node N is owned by psim
+    // partition N (the node partitions are [0, nodes)).
+    check::WiringScope wire(static_cast<std::uint32_t>(index));
     auto node = std::make_unique<NodeParts>();
     auto nid = static_cast<NodeId>(index);
     std::string prefix = "node" + std::to_string(index);
@@ -328,6 +343,10 @@ System::buildNode(unsigned index)
 void
 System::wireNode(unsigned index)
 {
+    // Also reached directly from System::reset, so the stamp cannot
+    // live in buildNode alone (WiringScope nests; re-registrations on
+    // the reset path rebind to already-stamped statistics).
+    check::WiringScope wire(static_cast<std::uint32_t>(index));
     NodeParts* node = nodes_[index].get();
     auto nid = static_cast<NodeId>(index);
     std::string prefix = "node" + std::to_string(index);

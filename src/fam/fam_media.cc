@@ -37,6 +37,13 @@ FamMedia::FamMedia(Simulation& sim, const std::string& name,
                                params_.jobs);
     }
     for (unsigned i = 0; i < params.modules; ++i) {
+        // Module i's banked state and histograms run on (and are owned
+        // by) media partition partitionBase + i; the aggregate
+        // SharedCounters above span every module and stay untagged.
+        check::WiringScope wire(
+            params_.partitionBase == check::kUnowned
+                ? check::kUnowned
+                : params_.partitionBase + i);
         modules_.push_back(std::make_unique<BankedMemory>(
             sim, name + ".module" + std::to_string(i), params.nvm));
         obsFabric_.push_back(obsHistogram(

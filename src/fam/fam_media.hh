@@ -14,6 +14,7 @@
 
 #include "mem/banked_memory.hh"
 #include "mem/packet.hh"
+#include "sim/check.hh"
 #include "sim/simulation.hh"
 
 namespace famsim {
@@ -36,6 +37,14 @@ struct FamMediaParams {
      * > 1 registers the per-job request attribution tables.
      */
     unsigned jobs = 1;
+    /**
+     * psim partition of module 0 (module m is owned by partitionBase
+     * + m; the media partitions sit after the node partitions). Set by
+     * SystemConfig::finalize; the default leaves the per-module stats
+     * unstamped for the FAMSIM_CHECK ownership hooks (serial-only
+     * fixtures that construct a FamMedia directly).
+     */
+    std::uint32_t partitionBase = check::kUnowned;
 };
 
 /** The fabric-attached NVM pool(s). Accessed with FAM addresses. */

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/inline_function.hh"
 #include "sim/types.hh"
 
@@ -68,9 +69,25 @@ class Mailbox
     void
     push(Msg msg, Tick key)
     {
+        FAMSIM_CHECK_MAILBOX(checkProducer_);
         msgs_.push_back(std::move(msg));
         if (key < minKey_)
             minKey_ = key;
+    }
+
+    /**
+     * Stamp the lane's single producer partition for the FAMSIM_CHECK
+     * ownership hooks (NodeQueue, at wiring). No-op when the checker
+     * is compiled out; unstamped lanes are never checked.
+     */
+    void
+    setCheckProducer(std::uint32_t producer)
+    {
+#if FAMSIM_CHECK
+        checkProducer_ = producer;
+#else
+        (void)producer;
+#endif
     }
 
     [[nodiscard]] bool empty() const { return msgs_.empty(); }
@@ -97,6 +114,10 @@ class Mailbox
   private:
     std::vector<Msg> msgs_;
     Tick minKey_ = kNever;
+#if FAMSIM_CHECK
+    /** The lane's single legal producer; kUnowned = unchecked. */
+    std::uint32_t checkProducer_ = check::kUnowned;
+#endif
 };
 
 } // namespace famsim

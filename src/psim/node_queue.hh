@@ -42,6 +42,12 @@ class NodeQueue
         : id_(id), postIn_(partitions)
     {
         queue_.setId(id);
+        // Ownership stamps for the FAMSIM_CHECK hooks: the queue
+        // belongs to this partition; inbound lane src may only be
+        // appended to by partition src. No-ops when compiled out.
+        queue_.setCheckOwner(id);
+        for (std::uint32_t src = 0; src < partitions; ++src)
+            postIn_[src].setCheckProducer(src);
     }
 
     [[nodiscard]] std::uint32_t id() const { return id_; }

@@ -156,7 +156,7 @@ ParallelSim::drainArbitrated()
             // Re-index on every access: a re-entrant post may have
             // grown (reallocated) the lane vector.
             ArbSend& send = arbIn_[key.second].sends[idx];
-            Scope scope(*this, send.dst);
+            Scope scope(*this, send.dst, check::Phase::Barrier);
             ArbFn fn = std::move(send.fn);
             fn(send.sent);
         }
@@ -217,7 +217,7 @@ ParallelSim::runGlobalOpsThrough(Tick start)
     // quiescent so touching any partition's state is safe.
     std::size_t taken = 0;
     {
-        Scope scope(*this, brokerPartition());
+        Scope scope(*this, brokerPartition(), check::Phase::Barrier);
         while (taken < pendingGlobal_.size() &&
                pendingGlobal_[taken].due <= start) {
             auto fn = std::move(pendingGlobal_[taken].fn);
@@ -334,7 +334,7 @@ ParallelSim::run()
         // property that lets the mailboxes stay lock-free.
         pool_.runEpoch(parts_.size(), [&](std::size_t p) {
             const auto part = static_cast<std::uint32_t>(p);
-            Scope scope(*this, part);
+            Scope scope(*this, part, check::Phase::Drain);
             std::uint64_t drained;
             if (prof) {
                 Profiler::Timer t;
@@ -351,7 +351,7 @@ ParallelSim::run()
         });
         pool_.runEpoch(parts_.size(), [&](std::size_t p) {
             const auto part = static_cast<std::uint32_t>(p);
-            Scope scope(*this, part);
+            Scope scope(*this, part, check::Phase::Exec);
             if (prof) {
                 Profiler::Timer t;
                 parts_[p]->queue().run(end - 1);

@@ -70,6 +70,7 @@
 #include "psim/node_queue.hh"
 #include "psim/sync_window.hh"
 #include "psim/worker_pool.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -284,11 +285,17 @@ class ParallelSim
      * thread-local slot, and clears it even when the guarded callback
      * throws (FAMSIM_ASSERT under ScopedThrowOnError, in tests) — a
      * stale slot would dangle into later runs on the same thread.
+     * Also publishes the (partition, phase) context the FAMSIM_CHECK
+     * ownership hooks read: Drain/Exec enforce partition exclusivity,
+     * Barrier marks the coordinator's legal cross-partition sections,
+     * None (withPartition wiring) enforces nothing.
      */
     class Scope
     {
       public:
-        Scope(ParallelSim& psim, std::uint32_t partition)
+        Scope(ParallelSim& psim, std::uint32_t partition,
+              check::Phase phase = check::Phase::None)
+            : phase_(partition, phase)
         {
             FAMSIM_ASSERT(!detail::tlsQueueSlot(),
                           "nested partition context");
@@ -297,6 +304,9 @@ class ParallelSim
         ~Scope() { detail::tlsQueueSlot() = nullptr; }
         Scope(const Scope&) = delete;
         Scope& operator=(const Scope&) = delete;
+
+      private:
+        check::PhaseScope phase_;
     };
 
     void init(std::uint32_t partitions);

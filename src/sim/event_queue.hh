@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -62,6 +63,9 @@ class EventQueue
             seq_ = other.seq_;
             executed_ = other.executed_;
             id_ = other.id_;
+#if FAMSIM_CHECK
+            checkOwner_ = other.checkOwner_;
+#endif
         }
         return *this;
     }
@@ -77,6 +81,7 @@ class EventQueue
         using Fn = std::decay_t<F>;
         static_assert(std::is_invocable_r_v<void, Fn&>,
                       "event callback must be invocable as void()");
+        FAMSIM_CHECK_QUEUE(checkOwner_);
         FAMSIM_ASSERT(when >= now_, "event scheduled in the past: ", when,
                       " < ", now_);
         if constexpr (std::is_constructible_v<bool, const Fn&>)
@@ -148,6 +153,22 @@ class EventQueue
      */
     [[nodiscard]] std::uint32_t id() const { return id_; }
     void setId(std::uint32_t id) { id_ = id; }
+
+    /**
+     * Stamp the queue's owning partition for the FAMSIM_CHECK
+     * ownership hooks (NodeQueue, at wiring). Unstamped queues (the
+     * serial/global queue) are never checked. No-op when the checker
+     * is compiled out.
+     */
+    void
+    setCheckOwner(std::uint32_t owner)
+    {
+#if FAMSIM_CHECK
+        checkOwner_ = owner;
+#else
+        (void)owner;
+#endif
+    }
 
     /** Number of pending events. */
     [[nodiscard]] std::size_t size() const { return heap_.size(); }
@@ -280,6 +301,10 @@ class EventQueue
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
     std::uint32_t id_ = 0;
+#if FAMSIM_CHECK
+    /** Owning partition for the ownership hooks; kUnowned = unchecked. */
+    std::uint32_t checkOwner_ = check::kUnowned;
+#endif
 };
 
 } // namespace famsim

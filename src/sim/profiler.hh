@@ -36,17 +36,20 @@ class Profiler
     class Timer
     {
       public:
+        // lint-allow(wall-clock): host-profiling stopwatch; output goes to the profile block only, never into sim state or goldens
         Timer() : start_(std::chrono::steady_clock::now()) {}
 
         [[nodiscard]] double
         seconds() const
         {
             return std::chrono::duration<double>(
+                       // lint-allow(wall-clock): host-profiling stopwatch; never feeds sim state
                        std::chrono::steady_clock::now() - start_)
                 .count();
         }
 
       private:
+        // lint-allow(wall-clock): host-profiling stopwatch; never feeds sim state
         std::chrono::steady_clock::time_point start_;
     };
 

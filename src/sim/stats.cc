@@ -63,6 +63,7 @@ Histogram::Histogram(std::uint64_t bucket_width, std::size_t buckets)
 void
 Histogram::sample(std::uint64_t value)
 {
+    FAMSIM_CHECK_STAT(checkTag, "histogram sample");
     std::size_t idx = value / bucketWidth_;
     if (idx >= counts_.size())
         idx = counts_.size() - 1; // saturate into the last bucket
@@ -120,13 +121,18 @@ Histogram::percentile(double p) const
 Counter&
 StatRegistry::counter(const std::string& name, const std::string& desc)
 {
-    auto& entry = entries_[name];
+    auto it = entries_.try_emplace(name).first;
+    auto& entry = it->second;
     if (!entry.counter) {
         FAMSIM_ASSERT(!entry.shared && !entry.scalar && !entry.histogram &&
                           !entry.jobs,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.counter = std::make_unique<Counter>();
+#if FAMSIM_CHECK
+        entry.counter->checkTag =
+            check::Tag{check::wiringOwnerSlot(), &it->first};
+#endif
     }
     return *entry.counter;
 }
@@ -149,13 +155,18 @@ StatRegistry::sharedCounter(const std::string& name,
 Scalar&
 StatRegistry::scalar(const std::string& name, const std::string& desc)
 {
-    auto& entry = entries_[name];
+    auto it = entries_.try_emplace(name).first;
+    auto& entry = it->second;
     if (!entry.scalar) {
         FAMSIM_ASSERT(!entry.counter && !entry.shared && !entry.histogram &&
                           !entry.jobs,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.scalar = std::make_unique<Scalar>();
+#if FAMSIM_CHECK
+        entry.scalar->checkTag =
+            check::Tag{check::wiringOwnerSlot(), &it->first};
+#endif
     }
     return *entry.scalar;
 }
@@ -164,13 +175,18 @@ Histogram&
 StatRegistry::histogram(const std::string& name, const std::string& desc,
                         std::uint64_t bucket_width, std::size_t buckets)
 {
-    auto& entry = entries_[name];
+    auto it = entries_.try_emplace(name).first;
+    auto& entry = it->second;
     if (!entry.histogram) {
         FAMSIM_ASSERT(!entry.counter && !entry.shared && !entry.scalar &&
                           !entry.jobs,
                       "stat '", name, "' re-registered with another type");
         entry.desc = desc;
         entry.histogram = std::make_unique<Histogram>(bucket_width, buckets);
+#if FAMSIM_CHECK
+        entry.histogram->checkTag =
+            check::Tag{check::wiringOwnerSlot(), &it->first};
+#endif
     }
     return *entry.histogram;
 }

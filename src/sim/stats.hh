@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/types.hh"
 
 namespace famsim {
@@ -37,14 +38,39 @@ void writeNumber(std::ostream& os, double v);
 
 } // namespace json
 
-/** A monotonically increasing event count, resettable for warmup. */
+/**
+ * A monotonically increasing event count, resettable for warmup.
+ * Plain (non-atomic): under the parallel kernel a Counter is
+ * partition-local and may only be bumped by the partition that owns it
+ * (enforced by the FAMSIM_CHECK hooks; cross-partition aggregates use
+ * SharedCounter instead).
+ */
 class Counter
 {
   public:
-    Counter& operator++() { ++value_; return *this; }
-    Counter& operator+=(std::uint64_t delta) { value_ += delta; return *this; }
+    Counter&
+    operator++()
+    {
+        FAMSIM_CHECK_STAT(checkTag, "counter increment");
+        ++value_;
+        return *this;
+    }
+
+    Counter&
+    operator+=(std::uint64_t delta)
+    {
+        FAMSIM_CHECK_STAT(checkTag, "counter increment");
+        value_ += delta;
+        return *this;
+    }
+
     [[nodiscard]] std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+#if FAMSIM_CHECK
+    /** Owner stamp, set by StatRegistry at creation (wiring owner). */
+    check::Tag checkTag;
+#endif
 
   private:
     std::uint64_t value_ = 0;
@@ -139,9 +165,21 @@ class JobStatTable
 class Scalar
 {
   public:
-    Scalar& operator=(double v) { value_ = v; return *this; }
+    Scalar&
+    operator=(double v)
+    {
+        FAMSIM_CHECK_STAT(checkTag, "scalar write");
+        value_ = v;
+        return *this;
+    }
+
     [[nodiscard]] double value() const { return value_; }
     void reset() { value_ = 0.0; }
+
+#if FAMSIM_CHECK
+    /** Owner stamp, set by StatRegistry at creation (wiring owner). */
+    check::Tag checkTag;
+#endif
 
   private:
     double value_ = 0.0;
@@ -175,6 +213,11 @@ class Histogram
     [[nodiscard]] std::uint64_t p50() const { return percentile(0.50); }
     [[nodiscard]] std::uint64_t p95() const { return percentile(0.95); }
     [[nodiscard]] std::uint64_t p99() const { return percentile(0.99); }
+
+#if FAMSIM_CHECK
+    /** Owner stamp, set by StatRegistry at creation (wiring owner). */
+    check::Tag checkTag;
+#endif
 
   private:
     std::uint64_t bucketWidth_;

@@ -98,6 +98,7 @@ StreamGen::StreamGen(const StreamProfile& profile, std::uint64_t va_base,
     std::uint64_t tier1 = std::min(profile.hot1Pages, numPages_);
     while (chosen.size() < tier1)
         chosen.insert(page_rng.below64(numPages_));
+    // lint-allow(unordered-iteration): order is a pure function of the seeded insertion sequence on a fixed stdlib; sorting would re-index the hot tiers and invalidate the golden corpus
     hot1Pages_.assign(chosen.begin(), chosen.end());
     std::uint64_t tier2 =
         std::min(profile.hot2Pages, numPages_ - tier1);
@@ -107,6 +108,7 @@ StreamGen::StreamGen(const StreamProfile& profile, std::uint64_t va_base,
         if (!chosen.count(page))
             chosen2.insert(page);
     }
+    // lint-allow(unordered-iteration): order is a pure function of the seeded insertion sequence on a fixed stdlib; sorting would re-index the hot tiers and invalidate the golden corpus
     hot2Pages_.assign(chosen2.begin(), chosen2.end());
     if (!hot1Pages_.empty())
         hot1Bound_ =

@@ -267,6 +267,33 @@ class TextWriterImpl final : public TraceWriter::Impl
 #if FAMSIM_HAVE_ZLIB
 
 /**
+ * Owning wrapper for a zlib gzFile. The gzip reader/writer
+ * constructors can FATAL after gzopen (bad magic, truncation, ...),
+ * and under ScopedThrowOnError that throw skips the half-constructed
+ * object's destructor — but member destructors still run, so holding
+ * the handle here instead of in a raw gzFile closes it on every path.
+ */
+struct GzHandle
+{
+    gzFile gz = nullptr;
+
+    GzHandle() = default;
+    GzHandle(const GzHandle&) = delete;
+    GzHandle& operator=(const GzHandle&) = delete;
+    ~GzHandle() { close(); }
+
+    int
+    close()
+    {
+        if (gz == nullptr)
+            return Z_OK;
+        int rc = gzclose(gz);
+        gz = nullptr;
+        return rc;
+    }
+};
+
+/**
  * Gzip cannot seek back to patch the record count into the header, so
  * this backend buffers the records and emits the whole stream at
  * close() — the writer-side memory cost of a compressed capture.
@@ -276,17 +303,11 @@ class GzipWriterImpl final : public TraceWriter::Impl
   public:
     explicit GzipWriterImpl(const std::string& path) : path_(path)
     {
-        gz_ = gzopen(path.c_str(), "wb");
-        if (gz_ == nullptr) {
+        gz_.gz = gzopen(path.c_str(), "wb");
+        if (gz_.gz == nullptr) {
             FAMSIM_FATAL("cannot open trace file '", path,
                          "' for writing");
         }
-    }
-
-    ~GzipWriterImpl() override
-    {
-        if (gz_ != nullptr)
-            gzclose(gz_);
     }
 
     void
@@ -318,8 +339,7 @@ class GzipWriterImpl final : public TraceWriter::Impl
         }
         if (!records_.empty())
             write(records_.data(), records_.size());
-        int rc = gzclose(gz_);
-        gz_ = nullptr;
+        int rc = gz_.close();
         if (rc != Z_OK) {
             FAMSIM_FATAL("trace close of '", path_, "' failed (gzip rc ",
                          rc, ", disk full?)");
@@ -335,7 +355,7 @@ class GzipWriterImpl final : public TraceWriter::Impl
         while (bytes > 0) {
             unsigned chunk = static_cast<unsigned>(
                 std::min<std::size_t>(bytes, 1u << 30));
-            if (gzwrite(gz_, p, chunk) != static_cast<int>(chunk)) {
+            if (gzwrite(gz_.gz, p, chunk) != static_cast<int>(chunk)) {
                 FAMSIM_FATAL("trace write to '", path_,
                              "' failed (disk full?)");
             }
@@ -345,7 +365,7 @@ class GzipWriterImpl final : public TraceWriter::Impl
     }
 
     std::string path_;
-    gzFile gz_ = nullptr;
+    GzHandle gz_;
     std::vector<std::uint64_t> footprint_;
     std::vector<unsigned char> records_;
 };
@@ -718,8 +738,8 @@ class GzipReaderImpl final : public TraceReader
     explicit GzipReaderImpl(const std::string& path)
         : TraceReader(path, TraceFormat::Gzip)
     {
-        gz_ = gzopen(path.c_str(), "rb");
-        if (gz_ == nullptr)
+        gz_.gz = gzopen(path.c_str(), "rb");
+        if (gz_.gz == nullptr)
             FAMSIM_FATAL("cannot open trace file '", path, "'");
 
         char magic[kMagicSize];
@@ -764,7 +784,7 @@ class GzipReaderImpl final : public TraceReader
             }
         }
         unsigned char probe = 0;
-        if (gzread(gz_, &probe, 1) > 0) {
+        if (gzread(gz_.gz, &probe, 1) > 0) {
             FAMSIM_FATAL("trace '", path, "' has trailing bytes beyond "
                          "the ", count_, " records its header claims "
                          "(stale header from a crashed writer, or a "
@@ -776,12 +796,6 @@ class GzipReaderImpl final : public TraceReader
         if (derive)
             footprint_ = derivedFootprint(pages);
         rewindPayload();
-    }
-
-    ~GzipReaderImpl() override
-    {
-        if (gz_ != nullptr)
-            gzclose(gz_);
     }
 
   protected:
@@ -807,8 +821,8 @@ class GzipReaderImpl final : public TraceReader
     void
     rewindPayload() override
     {
-        if (gzrewind(gz_) != 0 ||
-            gzseek(gz_, static_cast<z_off_t>(payloadStart_), SEEK_SET) < 0)
+        if (gzrewind(gz_.gz) != 0 ||
+            gzseek(gz_.gz, static_cast<z_off_t>(payloadStart_), SEEK_SET) < 0)
             FAMSIM_FATAL("trace '", path_, "' rewind failed");
         remaining_ = count_;
     }
@@ -821,10 +835,10 @@ class GzipReaderImpl final : public TraceReader
         while (bytes > 0) {
             unsigned chunk = static_cast<unsigned>(
                 std::min<std::size_t>(bytes, 1u << 30));
-            int got = gzread(gz_, p, chunk);
+            int got = gzread(gz_.gz, p, chunk);
             if (got <= 0) {
                 int errnum = Z_OK;
-                const char* msg = gzerror(gz_, &errnum);
+                const char* msg = gzerror(gz_.gz, &errnum);
                 if (errnum != Z_OK && errnum != Z_STREAM_END) {
                     FAMSIM_FATAL("trace '", path_, "' ", what,
                                  " read failed: ", msg);
@@ -837,7 +851,7 @@ class GzipReaderImpl final : public TraceReader
         }
     }
 
-    gzFile gz_ = nullptr;
+    GzHandle gz_;
     std::uint64_t payloadStart_ = 0;
     std::uint64_t remaining_ = 0;
     std::vector<unsigned char> raw_;

@@ -100,7 +100,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("mcf", "cactus", "astar", "frqm", "canl", "bc",
                       "cc", "ccsv", "sssp", "pf", "dc", "lu", "mg",
                       "sp"),
-    [](const auto& info) { return info.param; });
+    [](const auto& suite) { return suite.param; });
 
 TEST(StatLookup, GetResolvesHistogramsAndRejectsJobTables)
 {

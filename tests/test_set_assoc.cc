@@ -416,8 +416,8 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, SetAssocPolicyTest,
                          ::testing::Values(ReplPolicy::Lru,
                                            ReplPolicy::Random,
                                            ReplPolicy::TreePlru),
-                         [](const auto& info) {
-                             return std::string(toString(info.param));
+                         [](const auto& suite) {
+                             return std::string(toString(suite.param));
                          });
 
 class SetAssocGeometryTest
@@ -525,9 +525,9 @@ INSTANTIATE_TEST_SUITE_P(
                           std::pair<std::size_t, std::size_t>{64, 4},
                           std::pair<std::size_t, std::size_t>{128, 8},
                           std::pair<std::size_t, std::size_t>{2, 96})),
-    [](const auto& info) {
-        ReplPolicy policy = std::get<0>(info.param);
-        auto shape = std::get<1>(info.param);
+    [](const auto& suite) {
+        ReplPolicy policy = std::get<0>(suite.param);
+        auto shape = std::get<1>(suite.param);
         return std::string(toString(policy)) + "_" +
                std::to_string(shape.first) + "x" +
                std::to_string(shape.second);

@@ -73,8 +73,8 @@ INSTANTIATE_TEST_SUITE_P(AllArchs, ArchTest,
                          ::testing::Values(ArchKind::EFam, ArchKind::IFam,
                                            ArchKind::DeactW,
                                            ArchKind::DeactN),
-                         [](const auto& info) {
-                             std::string name = toString(info.param);
+                         [](const auto& suite) {
+                             std::string name = toString(suite.param);
                              name.erase(
                                  std::remove(name.begin(), name.end(), '-'),
                                  name.end());

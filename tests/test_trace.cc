@@ -413,7 +413,7 @@ TEST_F(TraceTest, TextBadLineFatals)
     ScopedThrowOnError guard;
     EXPECT_THROW(TraceReader::open(path_.string()), SimError);
     try {
-        TraceReader::open(path_.string());
+        (void)TraceReader::open(path_.string());
         FAIL() << "expected SimError";
     } catch (const SimError& e) {
         EXPECT_NE(std::string(e.what()).find("line 3"),
